@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+The full four-engine suite sweep is expensive, so it runs once per
+pytest session and is shared by the Figure 10/11/12 benchmarks.  Every
+benchmark also writes its table to ``benchmarks/results/`` so
+EXPERIMENTS.md can be regenerated from the recorded artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """{program: {engine: SuiteResult}} for all engines, computed once."""
+    from repro.suite.runner import run_suite
+
+    return run_suite()

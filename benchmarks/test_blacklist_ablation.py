@@ -1,0 +1,65 @@
+"""Section 3.3 ablation: blacklisting caps the cost of unrecordable hot
+loops.
+
+"If a hot loop contains traces that always fail, the VM could
+potentially run much more slowly than the base interpreter: the VM
+repeatedly spends time trying to record traces, but is never able to
+run any."
+"""
+
+from conftest import write_result
+
+from repro.vm import BaselineVM, TracingVM, VMConfig
+
+# hostEval is untraceable: every recording attempt aborts.
+ABORTING = (
+    "var t = 0;"
+    "for (var i = 0; i < 1500; i++) t += hostEval('1') + (i & 3);"
+    "t;"
+)
+
+
+def run_with(blacklisting: bool):
+    baseline = BaselineVM()
+    base_result = baseline.run(ABORTING)
+    vm = TracingVM(VMConfig(enable_blacklisting=blacklisting))
+    result = vm.run(ABORTING)
+    assert repr(result) == repr(base_result)
+    return {
+        "blacklisting": blacklisting,
+        "cycles": vm.stats.total_cycles,
+        "baseline_cycles": baseline.stats.total_cycles,
+        "relative": vm.stats.total_cycles / baseline.stats.total_cycles,
+        "aborts": vm.stats.tracing.traces_aborted,
+        "blacklisted": vm.stats.tracing.blacklisted,
+    }
+
+
+def test_blacklist_ablation(benchmark):
+    with_blacklist, without_blacklist = benchmark.pedantic(
+        lambda: (run_with(True), run_with(False)), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Blacklisting ablation (Section 3.3) — hot loop that always aborts",
+        f"{'config':>14} {'vs interp':>10} {'aborts':>7} {'blacklisted':>12}",
+        "-" * 48,
+    ]
+    for row in (with_blacklist, without_blacklist):
+        label = "blacklist" if row["blacklisting"] else "no-blacklist"
+        lines.append(
+            f"{label:>14} {row['relative']:9.3f}x {row['aborts']:7d} "
+            f"{row['blacklisted']:12d}"
+        )
+    write_result("blacklist_ablation.txt", "\n".join(lines))
+
+    # With blacklisting: the abort count is capped at max_recording_failures
+    # and the loop ends up within a few percent of pure interpretation.
+    assert with_blacklist["aborts"] <= 2
+    assert with_blacklist["blacklisted"] == 1
+    assert with_blacklist["relative"] < 1.10
+
+    # Without it: the VM re-records (bounded only by the back-off) and
+    # pays for every attempt.
+    assert without_blacklist["aborts"] > with_blacklist["aborts"] * 5
+    assert without_blacklist["cycles"] > with_blacklist["cycles"]

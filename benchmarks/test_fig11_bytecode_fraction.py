@@ -1,0 +1,48 @@
+"""Figure 11: fraction of dynamic bytecodes executed by the interpreter
+and on native traces.
+
+Paper claims reproduced in shape:
+
+* "In most of the tests, almost all the bytecodes are executed by
+  compiled traces";
+* "Three of the benchmarks are not traced at all and run in the
+  interpreter";
+* the fraction executed while recording is very small (the paper calls
+  out crypto-md5 at 3% as the outlier).
+"""
+
+from conftest import write_result
+
+from repro.suite.programs import PROGRAMS
+from repro.suite.runner import figure11_table, format_figure11
+
+
+def test_figure11_bytecode_fractions(benchmark, suite_results):
+    rows = benchmark.pedantic(
+        lambda: figure11_table(suite_results), rounds=1, iterations=1
+    )
+    write_result("figure11.txt", format_figure11(rows))
+
+    expected = {program.name: program.expected_traceable for program in PROGRAMS}
+
+    untraced = [row for row in rows if row["native"] < 0.05]
+    # The paper's "three of the benchmarks are not traced at all".
+    assert len(untraced) == 3
+    for row in untraced:
+        assert not expected[row["program"]]
+
+    mostly_native = [row for row in rows if row["native"] > 0.75]
+    traceable_count = sum(1 for is_traceable in expected.values() if is_traceable)
+    assert len(mostly_native) >= traceable_count - 2
+
+    # Recording stays a small fraction on every traced program (the
+    # paper calls out 3% on crypto-md5 as its outlier; short recursive
+    # programs that only ever record-and-abort may show more).
+    for row in rows:
+        if expected[row["program"]]:
+            assert row["recorded"] < 0.06, row["program"]
+        else:
+            assert row["recorded"] < 0.25, row["program"]
+
+    benchmark.extra_info["mostly_native"] = len(mostly_native)
+    benchmark.extra_info["untraced"] = [row["program"] for row in untraced]

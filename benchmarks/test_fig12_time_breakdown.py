@@ -1,0 +1,40 @@
+"""Figure 12: fraction of time spent in each VM activity.
+
+Paper claims reproduced in shape:
+
+* for well-traced programs the dark box (native) dominates;
+* "the total time spent in the monitor (for all activities) is usually
+  less than 5%";
+* recording/compiling are visible but small for most programs (they
+  matter on short-running or branchy programs).
+"""
+
+from conftest import write_result
+
+from repro.suite.programs import PROGRAMS
+from repro.suite.runner import figure12_table, format_figure12
+
+
+def test_figure12_time_breakdown(benchmark, suite_results):
+    rows = benchmark.pedantic(
+        lambda: figure12_table(suite_results), rounds=1, iterations=1
+    )
+    write_result("figure12.txt", format_figure12(rows))
+
+    expected = {program.name: program.expected_traceable for program in PROGRAMS}
+    native_heavy = [row for row in rows if row["native"] > 0.5]
+    assert len(native_heavy) >= 10
+
+    # Monitor overhead below 5% for most programs (paper Section 6.3
+    # allows up to ~10% for abort-heavy ones).
+    low_monitor = [row for row in rows if row["monitor"] < 0.05]
+    assert len(low_monitor) >= len(rows) * 0.7
+    for row in rows:
+        assert row["monitor"] < 0.25, row["program"]
+
+    # Untraceable programs interpret.
+    for row in rows:
+        if not expected[row["program"]]:
+            assert row["interpret"] > 0.5, row["program"]
+
+    benchmark.extra_info["native_heavy"] = len(native_heavy)

@@ -1,0 +1,111 @@
+"""Section 4's analysis: naive tracing duplicates outer loops (O(n^k)),
+nested trace trees keep the trace count flat.
+
+Our no-nesting ablation is even more conservative than the paper's
+naive strawman: with nesting disabled the outer loops cannot compile at
+all (the recorder aborts at every inner header), so outer coverage is
+lost entirely.  With nesting enabled, every loop level compiles exactly
+once and the outer levels call inward.  The benchmark sweeps nesting
+depth and inner-path counts and reports trace counts and speedups.
+"""
+
+from conftest import write_result
+
+from repro.vm import BaselineVM, TracingVM, VMConfig
+
+
+#: Per-level trip counts chosen so total work is comparable per depth.
+_TRIPS = {1: 512, 2: 24, 3: 8}
+
+
+def nested_loop_source(depth: int, paths: int) -> str:
+    """A loop nest ``depth`` deep whose innermost body has ``paths``
+    distinct control-flow paths."""
+    indices = [f"i{level}" for level in range(depth)]
+    trips = _TRIPS[depth]
+    lines = ["var t = 0;"]
+    for level, index in enumerate(indices):
+        lines.append(f"for (var {index} = 0; {index} < {trips}; {index}++) {{")
+    branches = " else ".join(
+        f"if ({indices[-1]} % {paths} == {path}) t += {path + 1};"
+        for path in range(paths - 1)
+    )
+    if branches:
+        lines.append(branches + f" else t += {paths};")
+    else:
+        lines.append("t += 1;")
+    lines.extend("}" for _ in indices)
+    lines.append("t;")
+    return "\n".join(lines)
+
+
+def run_configuration(depth: int, paths: int, nesting: bool):
+    source = nested_loop_source(depth, paths)
+    baseline = BaselineVM()
+    base_result = baseline.run(source)
+    vm = TracingVM(VMConfig(enable_nesting=nesting))
+    result = vm.run(source)
+    assert repr(result) == repr(base_result)
+    tracing = vm.stats.tracing
+    return {
+        "depth": depth,
+        "paths": paths,
+        "nesting": nesting,
+        "trees": tracing.trees_formed,
+        "branches": tracing.branch_traces,
+        "traces": tracing.trees_formed + tracing.branch_traces,
+        "tree_calls": tracing.tree_calls_recorded,
+        "aborts": tracing.traces_aborted,
+        "native": vm.stats.profile.fraction_native(),
+        "speedup": baseline.stats.total_cycles / vm.stats.total_cycles,
+    }
+
+
+def sweep():
+    rows = []
+    for depth in (1, 2, 3):
+        for paths in (1, 2):
+            for nesting in (True, False):
+                rows.append(run_configuration(depth, paths, nesting))
+    return rows
+
+
+def test_nesting_blowup(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"{'depth':>5} {'paths':>5} {'nesting':>8} {'traces':>7} {'calls':>6} "
+        f"{'native':>8} {'speedup':>8}",
+        "-" * 56,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['depth']:5d} {row['paths']:5d} {str(row['nesting']):>8} "
+            f"{row['traces']:7d} {row['tree_calls']:6d} {row['native']:7.1%} "
+            f"{row['speedup']:7.2f}x"
+        )
+    write_result("nesting_blowup.txt", "\n".join(lines))
+
+    by_key = {(r["depth"], r["paths"], r["nesting"]): r for r in rows}
+
+    # With nesting: trace count grows linearly with depth (one tree per
+    # loop level plus a handful of branches), and every level compiles.
+    for depth in (2, 3):
+        nested = by_key[(depth, 2, True)]
+        assert nested["trees"] <= depth + 2
+        assert nested["tree_calls"] >= depth - 1
+        assert nested["native"] > 0.8
+
+    # Without nesting: the outer levels never compile, so coverage
+    # degrades; by depth 3 the speedup gap is unambiguous.
+    for depth in (2, 3):
+        nested = by_key[(depth, 2, True)]
+        flat = by_key[(depth, 2, False)]
+        assert flat["tree_calls"] == 0
+        assert nested["native"] >= flat["native"]
+        assert nested["speedup"] >= flat["speedup"] * 0.95
+    assert by_key[(3, 2, True)]["speedup"] > by_key[(3, 2, False)]["speedup"] * 1.2
+
+    # Depth 1 is unaffected by the nesting flag.
+    assert by_key[(1, 2, True)]["speedup"] > 1.0
+    assert by_key[(1, 2, False)]["speedup"] > 1.0

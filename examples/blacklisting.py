@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Aborts and blacklisting (paper Section 3.3).
+
+A hot loop that calls an ``eval``-like untraceable native aborts every
+recording attempt.  With blacklisting, the VM gives up after two
+failures and patches the loop's ``LOOPHEADER`` opcode to a plain
+``NOP`` so the trace monitor is never consulted again; the program then
+runs at ordinary interpreter speed.  With blacklisting disabled the VM
+keeps paying for doomed recordings.
+
+Usage: python examples/blacklisting.py
+"""
+
+from repro import BaselineVM, TracingVM, VMConfig
+from repro.bytecode import opcodes as op
+
+SOURCE = """
+var total = 0;
+for (var i = 0; i < 2000; i++)
+    total += hostEval('2 + 3') + (i & 1);
+total;
+"""
+
+
+def run(config: VMConfig, label: str, baseline_cycles: int) -> None:
+    vm = TracingVM(config)
+    code = vm.compile(SOURCE)
+    result = vm.run_code(code)
+    tracing = vm.stats.tracing
+    print(f"--- {label} ---")
+    print(f"  result               : {result.payload}")
+    print(f"  vs interpreter       : {vm.stats.total_cycles / baseline_cycles:.3f}x cycles")
+    print(f"  recordings aborted   : {tracing.traces_aborted} "
+          f"{dict(tracing.abort_reasons)}")
+    print(f"  fragments blacklisted: {tracing.blacklisted}")
+    patched = [
+        pc for pc in code.blacklisted_headers if code.insns[pc][0] == op.NOP
+    ]
+    print(f"  LOOPHEADERs patched  : {len(patched)} (bytecode rewritten to NOP)")
+    print()
+
+
+def main() -> None:
+    baseline = BaselineVM()
+    baseline.run(SOURCE)
+    base_cycles = baseline.stats.total_cycles
+    print(f"baseline interpreter: {base_cycles:,} cycles\n")
+    run(VMConfig(enable_blacklisting=True), "blacklisting on (the paper's design)", base_cycles)
+    run(VMConfig(enable_blacklisting=False), "blacklisting off", base_cycles)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Quickstart: run a JSLite program on the tracing VM and inspect stats.
+
+Usage: python examples/quickstart.py
+"""
+
+from repro import BaselineVM, TracingVM
+
+SOURCE = """
+// Sum of squares, type-stable integer loop: ideal tracing territory.
+function square(n) { return n * n; }
+
+var total = 0;
+for (var i = 0; i < 2000; ++i)
+    total += square(i);
+total;
+"""
+
+
+def main() -> None:
+    baseline = BaselineVM()
+    baseline_result = baseline.run(SOURCE)
+
+    tracing = TracingVM()
+    tracing_result = tracing.run(SOURCE)
+
+    assert repr(baseline_result) == repr(tracing_result)
+    print(f"program result         : {tracing_result.payload}")
+    print(f"baseline interpreter   : {baseline.stats.total_cycles:,} simulated cycles")
+    print(f"tracing VM             : {tracing.stats.total_cycles:,} simulated cycles")
+    speedup = baseline.stats.total_cycles / tracing.stats.total_cycles
+    print(f"speedup                : {speedup:.2f}x")
+    print()
+    for line in tracing.stats.summary_lines():
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

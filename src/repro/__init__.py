@@ -1,0 +1,34 @@
+"""repro — a reproduction of "Trace-based Just-in-Time Type Specialization
+for Dynamic Languages" (Gal et al., PLDI 2009).
+
+Public API:
+
+* :class:`~repro.vm.TracingVM` — the TraceMonkey-equivalent VM;
+* :class:`~repro.vm.BaselineVM` — the SpiderMonkey-like interpreter;
+* :class:`~repro.vm.ThreadedVM` — the SquirrelFish-Extreme-like baseline;
+* :class:`~repro.baselines.method_jit.MethodJITVM` — the V8-like baseline;
+* :class:`~repro.vm.VMConfig` — tracing thresholds and ablation flags;
+* :func:`run_source` — one-shot helper returning (result, stats).
+"""
+
+from repro.vm import BaselineVM, ThreadedVM, TracingVM, VM, VMConfig
+
+__version__ = "1.0.0"
+
+
+def run_source(source: str, config=None):
+    """Run ``source`` on a fresh :class:`TracingVM`; return (result, stats)."""
+    vm = TracingVM(config)
+    result = vm.run(source)
+    return result, vm.stats
+
+
+__all__ = [
+    "BaselineVM",
+    "ThreadedVM",
+    "TracingVM",
+    "VM",
+    "VMConfig",
+    "run_source",
+    "__version__",
+]

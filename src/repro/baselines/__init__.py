@@ -1,0 +1,14 @@
+"""Comparator VMs for the Figure 10 reproduction.
+
+The paper compares TraceMonkey against three other engines:
+
+* SpiderMonkey (the baseline interpreter) — :class:`repro.vm.BaselineVM`;
+* SquirrelFish Extreme (a call-threaded interpreter) —
+  :class:`repro.vm.ThreadedVM`;
+* V8 (a method-compiling JIT) —
+  :class:`repro.baselines.method_jit.MethodJITVM` in this package.
+"""
+
+from repro.baselines.method_jit import MethodJITVM
+
+__all__ = ["MethodJITVM"]

@@ -1,0 +1,14 @@
+"""Bytecode: opcode definitions, the AST-to-bytecode compiler, disassembler.
+
+The compiler guarantees the structural property the paper's nesting
+algorithm relies on (Section 4.1): loops are compiled from structured
+source, every loop header is marked with an explicit ``LOOPHEADER``
+opcode (the "loop header no-op" of Section 3.3), and each
+:class:`~repro.bytecode.compiler.LoopInfo` records its bytecode range and
+parent, so inner/outer relationships are statically known.
+"""
+
+from repro.bytecode.compiler import Code, LoopInfo, compile_program
+from repro.bytecode.disasm import disassemble
+
+__all__ = ["Code", "LoopInfo", "compile_program", "disassemble"]

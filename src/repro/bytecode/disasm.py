@@ -1,0 +1,33 @@
+"""Bytecode disassembler (debugging aid and example output)."""
+
+from __future__ import annotations
+
+from repro.bytecode import opcodes as op
+from repro.bytecode.compiler import Code
+
+
+def disassemble(code: Code) -> str:
+    """Render ``code`` as readable assembly, one instruction per line."""
+    lines = [f"; {code!r}"]
+    loop_headers = {loop.header_pc: loop for loop in code.loops}
+    for pc, (opcode, arg) in enumerate(code.insns):
+        name = op.opcode_name(opcode)
+        detail = ""
+        if opcode == op.CONST:
+            detail = f"  ; {code.consts[arg]!r}"
+        elif opcode in (op.GETGLOBAL, op.SETGLOBAL, op.GETPROP, op.SETPROP,
+                        op.INITPROP, op.DELPROP):
+            detail = f"  ; {code.names[arg]!r}"
+        elif opcode in (op.GETLOCAL, op.SETLOCAL):
+            if 0 <= arg < len(code.local_names):
+                detail = f"  ; {code.local_names[arg]!r}"
+        elif opcode == op.LOOPHEADER:
+            loop = code.loops[arg]
+            detail = f"  ; loop depth={loop.depth} range=[{loop.header_pc},{loop.end_pc})"
+        elif opcode in op.JUMP_OPCODES:
+            direction = "backward (loop edge)" if arg is not None and arg < pc else ""
+            detail = f"  ; {direction}" if direction else ""
+        marker = "L" if pc in loop_headers else " "
+        arg_text = "" if arg is None else f" {arg}"
+        lines.append(f"{marker}{pc:5d}  {name}{arg_text}{detail}")
+    return "\n".join(lines)

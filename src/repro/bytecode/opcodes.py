@@ -1,0 +1,109 @@
+"""Opcode definitions for the JSLite stack machine.
+
+Design notes:
+
+* ``LOOPHEADER`` is the explicit loop-header no-op from the paper
+  (Section 3.3): the interpreter calls into the trace monitor every time
+  it executes one, and blacklisting replaces it with ``NOP`` so the
+  monitor is never consulted again for that loop.
+* ``GETPROP``/``SETPROP``/``GETELEM``/``SETELEM`` are *fat* opcodes
+  (Section 6.3): the interpreter's implementation covers shape-mode,
+  dict-mode, prototype chains, and the dense-array special case in one
+  opcode.  The trace recorder decomposes them into shape-guarded loads.
+* Assignment opcodes leave the assigned value on the stack (statements
+  pop it with ``POP``), which keeps the compiler's expression/statement
+  split simple.
+"""
+
+from __future__ import annotations
+
+_OPCODE_NAMES = [
+    "NOP",
+    "LOOPHEADER",  # arg: loop index in code.loops
+    "CONST",  # arg: const-pool index
+    "UNDEF",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "ZERO",
+    "ONE",
+    "GETLOCAL",  # arg: local slot
+    "SETLOCAL",  # arg: local slot; keeps the value on the stack
+    "GETGLOBAL",  # arg: name index
+    "SETGLOBAL",  # arg: name index; keeps the value
+    "GETPROP",  # arg: name index; pops obj, pushes value (fat)
+    "SETPROP",  # arg: name index; pops obj+value, pushes value (fat)
+    "GETELEM",  # pops obj+index, pushes value (fat)
+    "SETELEM",  # pops obj+index+value, pushes value (fat)
+    "DELPROP",  # arg: name index; pops obj, pushes bool
+    "ITERKEYS",  # pops obj, pushes a snapshot array of enumerable keys
+    "NEWOBJ",
+    "NEWARR",  # arg: element count; pops them
+    "INITPROP",  # arg: name index; pops value, keeps obj (literals only)
+    "ADD",
+    "SUB",
+    "MUL",
+    "DIV",
+    "MOD",
+    "NEG",
+    "TONUM",
+    "BITAND",
+    "BITOR",
+    "BITXOR",
+    "BITNOT",
+    "SHL",
+    "SHR",
+    "USHR",
+    "LT",
+    "LE",
+    "GT",
+    "GE",
+    "EQ",
+    "NE",
+    "STRICTEQ",
+    "STRICTNE",
+    "NOT",
+    "TYPEOF",
+    "POP",
+    "POPV",  # pop into the frame's completion value (top level only)
+    "DUP",
+    "SWAP",
+    "JUMP",  # arg: absolute target pc
+    "IFFALSE",  # arg: target; pops condition
+    "IFTRUE",  # arg: target; pops condition
+    "ANDJMP",  # arg: target; jump-if-false keeping value, else pop
+    "ORJMP",  # arg: target; jump-if-true keeping value, else pop
+    "CALL",  # arg: argc; stack [fn, args...]; this = undefined
+    "CALLMETHOD",  # arg: argc; stack [this, fn, args...]
+    "NEW",  # arg: argc; stack [fn, args...]
+    "RETURN",  # pops return value
+    "RETUNDEF",
+    "THIS",
+    "THROW",  # pops thrown value
+    "TRYPUSH",  # arg: catch handler pc
+    "TRYPOP",
+    "END",  # terminates top-level code
+]
+
+# Generate module-level integer constants: NOP, LOOPHEADER, ...
+for _index, _name in enumerate(_OPCODE_NAMES):
+    globals()[_name] = _index
+
+OPCODE_NAMES = tuple(_OPCODE_NAMES)
+N_OPCODES = len(_OPCODE_NAMES)
+
+#: Opcodes whose arg is a bytecode target (for the disassembler).
+JUMP_OPCODES = frozenset(
+    (
+        globals()["JUMP"],
+        globals()["IFFALSE"],
+        globals()["IFTRUE"],
+        globals()["ANDJMP"],
+        globals()["ORJMP"],
+        globals()["TRYPUSH"],
+    )
+)
+
+
+def opcode_name(op: int) -> str:
+    return OPCODE_NAMES[op]

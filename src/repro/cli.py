@@ -1,0 +1,190 @@
+"""Command-line interface: run JSLite programs on any engine.
+
+Usage::
+
+    python -m repro program.js                # tracing VM (default)
+    python -m repro --engine baseline prog.js # pure interpreter
+    python -m repro --stats prog.js           # cycle/trace statistics
+    python -m repro --compare prog.js         # all four engines + speedups
+    python -m repro --disasm prog.js          # bytecode disassembly
+    python -m repro --trace-dump prog.js      # compiled LIR + native code
+    python -m repro -e 'var s=0; for (var i=0;i<99;i++) s+=i; s;'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.baselines.method_jit import MethodJITVM
+from repro.bytecode.disasm import disassemble
+from repro.errors import JSLiteSyntaxError, JSThrow, ReproError
+from repro.runtime.conversions import to_string
+from repro.vm import BaselineVM, ThreadedVM, TracingVM
+
+ENGINES = {
+    "tracing": TracingVM,
+    "baseline": BaselineVM,
+    "threaded": ThreadedVM,
+    "methodjit": MethodJITVM,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Run JSLite programs on the TraceMonkey-reproduction VM "
+            "(PLDI 2009 trace-based JIT type specialization)."
+        ),
+    )
+    parser.add_argument("file", nargs="?", help="JSLite source file")
+    parser.add_argument(
+        "-e", "--eval", dest="source", help="program text given inline"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default="tracing",
+        help="execution engine (default: tracing)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print VM statistics after the run"
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="run on all four engines and report speedups over the baseline",
+    )
+    parser.add_argument(
+        "--disasm", action="store_true", help="print the bytecode and exit"
+    )
+    parser.add_argument(
+        "--trace-dump",
+        action="store_true",
+        help="after the run, print every compiled trace (LIR and native code)",
+    )
+    parser.add_argument(
+        "--no-result",
+        action="store_true",
+        help="do not print the program's completion value",
+    )
+    return parser
+
+
+def load_source(args) -> str:
+    if args.source is not None:
+        return args.source
+    if args.file is None:
+        raise SystemExit("repro: provide a file or -e 'source'")
+    try:
+        with open(args.file, "r") as handle:
+            return handle.read()
+    except OSError as error:
+        raise SystemExit(f"repro: cannot read {args.file}: {error}") from error
+
+
+def run_compare(source: str, out) -> int:
+    cycles = {}
+    results = set()
+    for name in ("baseline", "threaded", "methodjit", "tracing"):
+        vm = ENGINES[name]()
+        try:
+            result = vm.run(source)
+        except JSThrow as thrown:
+            print(f"uncaught exception: {to_string(thrown.value)}", file=sys.stderr)
+            return 1
+        cycles[name] = vm.stats.total_cycles
+        results.add(repr(result))
+        for line in vm.output:
+            print(line, file=out)
+        vm.output.clear()
+    if len(results) != 1:
+        print("engines disagree!", results, file=sys.stderr)
+        return 2
+    base = cycles["baseline"]
+    print(f"{'engine':>10}  {'cycles':>14}  speedup", file=out)
+    for name in ("baseline", "threaded", "methodjit", "tracing"):
+        print(
+            f"{name:>10}  {cycles[name]:14,d}  {base / cycles[name]:6.2f}x", file=out
+        )
+    return 0
+
+
+def dump_traces(vm: TracingVM, out) -> None:
+    from repro.core.lir import format_trace
+    from repro.core.typemap import describe_typemap
+    from repro.jit.codegen import format_native
+
+    trees = [tree for peers in vm.monitor.trees.values() for tree in peers]
+    if not trees:
+        print("(no traces were compiled)", file=out)
+        return
+    for tree in trees:
+        print(
+            f"=== tree {tree.code.name}@{tree.header_pc} "
+            f"{describe_typemap(tree.entry_typemap)} "
+            f"globals={[(n, t.value) for n, _s, t in tree.global_imports]} "
+            f"iterations={tree.iterations} ===",
+            file=out,
+        )
+        print("LIR:", file=out)
+        print(format_trace(tree.fragment.lir), file=out)
+        print("native:", file=out)
+        print(format_native(tree.fragment.native), file=out)
+        for index, branch in enumerate(tree.branches):
+            print(
+                f"--- branch {index} (from exit {branch.anchor_exit.exit_id}, "
+                f"{branch.anchor_exit.kind}) ---",
+                file=out,
+            )
+            print(format_trace(branch.lir), file=out)
+
+
+def main(argv: Optional[list] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    source = load_source(args)
+
+    if args.compare:
+        return run_compare(source, out)
+
+    vm = ENGINES[args.engine]()
+    try:
+        code = vm.compile(source, name=args.file or "<cli>")
+    except (JSLiteSyntaxError, ReproError) as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 1
+
+    if args.disasm:
+        print(disassemble(code), file=out)
+        return 0
+
+    try:
+        result = vm.run_code(code)
+    except JSThrow as thrown:
+        for line in vm.output:
+            print(line, file=out)
+        print(f"uncaught exception: {to_string(thrown.value)}", file=sys.stderr)
+        return 1
+
+    for line in vm.output:
+        print(line, file=out)
+    if not args.no_result:
+        print(to_string(result), file=out)
+    if args.stats:
+        print(file=out)
+        for line in vm.stats.summary_lines():
+            print(line, file=out)
+    if args.trace_dump:
+        if args.engine != "tracing":
+            print("(--trace-dump requires --engine tracing)", file=sys.stderr)
+        else:
+            print(file=out)
+            dump_traces(vm, out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

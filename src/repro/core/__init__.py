@@ -1,0 +1,14 @@
+"""The tracing core — the paper's primary contribution.
+
+Modules:
+
+* :mod:`repro.core.typemap` — trace types, value locations, type maps;
+* :mod:`repro.core.lir` — the SSA LIR traces are recorded in;
+* :mod:`repro.core.exits` — side exits and frame snapshots;
+* :mod:`repro.core.tree` — trace trees, branch traces, activation records;
+* :mod:`repro.core.oracle` — the int/double mis-speculation oracle;
+* :mod:`repro.core.blacklist` — abort back-off and blacklisting;
+* :mod:`repro.core.recorder` — bytecode-to-LIR trace recording;
+* :mod:`repro.core.monitor` — the trace monitor (hotness, trace cache,
+  trace calling, nesting, exit handling).
+"""

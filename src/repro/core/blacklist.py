@@ -1,0 +1,104 @@
+"""Abort back-off and blacklisting (paper Sections 3.3 and 4.2).
+
+Per loop-header fragment the VM tracks recording failures.  After a
+failure the header is "backed off": the monitor will not try recording
+again until the header has been passed ``backoff`` more times (32 in
+the paper).  After ``max_failures`` failures (2 in the paper) the
+fragment is blacklisted: the ``LOOPHEADER`` no-op is patched to a plain
+``NOP`` so the interpreter never calls into the monitor again.
+
+Nesting adjustment (Section 4.2): when an outer recording aborts
+because its inner tree was not ready, that abort is provisional — when
+the inner tree later finishes a trace, the outer loop is forgiven one
+failure and its back-off is undone, so it can retry immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FragmentRecord:
+    failures: int = 0
+    backoff_remaining: int = 0
+    blacklisted: bool = False
+    #: Outer headers waiting on this (inner) header (nesting forgiveness).
+    waiting_outers: set = field(default_factory=set)
+
+
+class Blacklist:
+    """Tracks recording failures per (code, header_pc)."""
+
+    def __init__(self, backoff: int = 32, max_failures: int = 2, enabled: bool = True):
+        self.backoff = backoff
+        self.max_failures = max_failures
+        self.enabled = enabled
+        self.records = {}
+
+    @staticmethod
+    def key(code, header_pc: int) -> tuple:
+        return (id(code), header_pc)
+
+    def record_for(self, code, header_pc: int) -> FragmentRecord:
+        key = self.key(code, header_pc)
+        record = self.records.get(key)
+        if record is None:
+            record = FragmentRecord()
+            self.records[key] = record
+        return record
+
+    def allows_recording(self, code, header_pc: int) -> bool:
+        """May the monitor start recording at this header now?
+
+        Counts down the back-off counter as a side effect (the header
+        "is passed a few more times").
+        """
+        if not self.enabled:
+            return True
+        record = self.record_for(code, header_pc)
+        if record.blacklisted:
+            return False
+        if record.backoff_remaining > 0:
+            record.backoff_remaining -= 1
+            return False
+        return True
+
+    def note_failure(self, code, header_pc: int, inner_key=None) -> bool:
+        """Record a recording failure; returns True if now blacklisted.
+
+        ``inner_key`` marks aborts caused by a not-yet-ready inner tree;
+        these register for forgiveness when the inner tree completes.
+        """
+        if not self.enabled:
+            return False
+        record = self.record_for(code, header_pc)
+        record.failures += 1
+        record.backoff_remaining = self.backoff
+        if inner_key is not None:
+            inner_record = self.records.get(inner_key)
+            if inner_record is None:
+                inner_record = FragmentRecord()
+                self.records[inner_key] = inner_record
+            inner_record.waiting_outers.add(self.key(code, header_pc))
+        if record.failures >= self.max_failures:
+            record.blacklisted = True
+            return True
+        return False
+
+    def note_inner_success(self, code, header_pc: int) -> list:
+        """An inner tree at this header completed a trace: forgive every
+        outer loop that aborted waiting on it (decrement failure count,
+        undo the back-off).  Returns the forgiven keys."""
+        record = self.records.get(self.key(code, header_pc))
+        if record is None or not record.waiting_outers:
+            return []
+        forgiven = []
+        for outer_key in record.waiting_outers:
+            outer = self.records.get(outer_key)
+            if outer is not None and not outer.blacklisted:
+                outer.failures = max(0, outer.failures - 1)
+                outer.backoff_remaining = 0
+                forgiven.append(outer_key)
+        record.waiting_outers.clear()
+        return forgiven

@@ -1,0 +1,520 @@
+"""The trace monitor (paper Figure 2 and Sections 3, 4, 6.1).
+
+The interpreter calls :meth:`TraceMonitor.on_loop_header` every time it
+executes a ``LOOPHEADER`` no-op.  Depending on state, the monitor:
+
+* executes a compiled trace whose entry type map matches the current
+  state (importing variables into the trace activation record, calling
+  the native fragment, and restoring interpreter state at the exit);
+* counts hotness and starts recording a root trace once the loop is hot
+  (threshold 2) and not blacklisted / backed off;
+* while recording — closes the loop at the anchor header, *nests* inner
+  loops by calling their trees and recording a ``calltree``, or aborts;
+* grows branch traces at hot side exits and patches them onto the
+  guards (trace stitching);
+* reacts to type-unstable traces by immediately re-recording with the
+  new type map (with the oracle preventing repeated mis-speculation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro import costs
+from repro.core import exits as exitkind
+from repro.core.exits import ExitEvent, SideExit
+from repro.core.blacklist import Blacklist
+from repro.core.oracle import Oracle
+from repro.core.recorder import Recorder
+from repro.core.tree import TraceTree
+from repro.core.typemap import (
+    TraceType,
+    box_for_type,
+    read_location,
+    type_of_box,
+    unbox_for_type,
+)
+from repro.costs import Activity
+from repro.errors import VMInternalError
+from repro.interp.frames import Frame
+from repro.runtime.values import UNDEFINED
+
+
+#: Exit kinds that may grow branch traces (trace stitching).
+_BRANCHABLE_EXIT_KINDS = frozenset(
+    (
+        exitkind.BRANCH,
+        exitkind.TYPE,
+        exitkind.SHAPE,
+        exitkind.OVERFLOW,
+        exitkind.OOB,
+        exitkind.CALLEE,
+    )
+)
+
+
+class TraceMonitor:
+    """Owns the trace cache, hotness counters, and recording state."""
+
+    def __init__(self, vm):
+        self.vm = vm
+        self.config = vm.config
+        self.oracle = Oracle(enabled=vm.config.enable_oracle)
+        self.blacklist = Blacklist(
+            backoff=vm.config.blacklist_backoff,
+            max_failures=vm.config.max_recording_failures,
+            enabled=vm.config.enable_blacklisting,
+        )
+        #: (id(code), header_pc) -> list of peer TraceTrees.
+        self.trees: Dict[tuple, List[TraceTree]] = {}
+        self.hot_counters: Dict[tuple, int] = {}
+        #: VM-wide global slot registry (shared across all trees so
+        #: nested trees can exchange globals through one area).
+        self.global_slot_of: Dict[str, int] = {}
+        self.global_names: List[str] = []
+        #: Keeps codes with live trees referenced (id() keys need this).
+        self._code_refs: List[object] = []
+
+    # -- global slots -----------------------------------------------------------
+
+    def global_slot(self, name: str) -> int:
+        slot = self.global_slot_of.get(name)
+        if slot is None:
+            slot = len(self.global_names)
+            self.global_slot_of[name] = slot
+            self.global_names.append(name)
+        return slot
+
+    def _charge(self, cycles: int) -> None:
+        self.vm.stats.ledger.charge(Activity.MONITOR, cycles)
+
+    # -- the main hook ------------------------------------------------------------
+
+    def on_loop_header(self, interp, frame: Frame, pc: int) -> None:
+        vm = self.vm
+        self._charge(costs.MONITOR_ENTRY)
+        recorder = vm.recorder
+        code = frame.code
+
+        if recorder is not None and recorder.suspended:
+            # Recording is paused inside a reentered native: compiled
+            # trees may run, but no recording decisions are made.
+            tree = self.find_matching_tree(interp, frame, pc)
+            if tree is not None:
+                self.execute_tree(interp, frame, tree, len(interp.frames) - 1)
+            return
+
+        if recorder is not None:
+            tree = recorder.tree
+            if code is tree.code and pc == tree.header_pc:
+                if recorder.depth == 0:
+                    status_before = recorder.status
+                    recorder.close_loop()
+                    if (
+                        recorder.status == "unstable"
+                        and not recorder.is_branch
+                        and status_before is None
+                    ):
+                        # "At the same time a new trace is recorded with
+                        # the new type map" (Section 3.2).
+                        self.consider_recording(interp, frame, pc, force_hot=True)
+                    return
+                self.abort_recording("recursive-loop-header")
+                return
+            self._handle_inner_header(interp, frame, pc, recorder)
+            return
+
+        loop_info = code.loop_at_header(pc)
+        if loop_info is None:
+            raise VMInternalError(f"LOOPHEADER at pc {pc} has no LoopInfo")
+        key = (id(code), pc)
+        tree = self.find_matching_tree(interp, frame, pc)
+        if tree is not None:
+            self.execute_tree(interp, frame, tree, len(interp.frames) - 1)
+            return
+        self.vm.stats.tracing.loops_seen += 1
+        count = self.hot_counters.get(key, 0) + 1
+        self.hot_counters[key] = count
+        if count >= self.config.hotness_threshold:
+            self.consider_recording(interp, frame, pc)
+
+    # -- starting recordings ----------------------------------------------------------
+
+    def consider_recording(
+        self, interp, frame: Frame, pc: int, force_hot: bool = False
+    ) -> bool:
+        code = frame.code
+        self._charge(costs.BLACKLIST_CHECK)
+        if not self.blacklist.allows_recording(code, pc):
+            self.vm.stats.tracing.backoffs += 1
+            return False
+        peers = self.trees.get((id(code), pc), [])
+        if len(peers) >= self.config.max_peer_trees:
+            return False
+        loop_info = code.loop_at_header(pc)
+        if loop_info is None:
+            return False
+        tree = TraceTree(code, pc, loop_info)
+        recorder = Recorder(self.vm, self, tree)
+        recorder.init_root(frame)
+        self.vm.recorder = recorder
+        self.vm.stats.tracing.recordings_started += 1
+        return True
+
+    def start_branch_recording(self, exit: SideExit) -> None:
+        """Begin recording a branch trace at a hot side exit.
+
+        Interpreter state has already been restored to the exit point;
+        recording proceeds as the interpreter continues from there.
+        """
+        recorder = Recorder(
+            self.vm, self, exit.tree, is_branch=True, anchor_exit=exit
+        )
+        recorder.init_branch()
+        self.vm.recorder = recorder
+        self.vm.stats.tracing.recordings_started += 1
+
+    # -- finishing / aborting -----------------------------------------------------------
+
+    def finish_recording(self, status: str) -> None:
+        vm = self.vm
+        recorder = vm.recorder
+        if recorder is None or recorder.finished:
+            return
+        recorder.finished = True
+        vm.recorder = None
+        tree = recorder.tree
+        lir = recorder.pipe.lir
+        vm.stats.ledger.charge(
+            Activity.COMPILE, tree.compile_cost(len(lir))
+        )
+        if recorder.is_branch:
+            from repro.core.tree import Fragment
+
+            if len(tree.branches) >= self.config.max_branch_traces:
+                recorder.anchor_exit.recording_blocked = True
+                return
+            fragment = Fragment(tree, "branch")
+            fragment.anchor_exit = recorder.anchor_exit
+            fragment.bytecount = recorder.bytecodes_recorded
+            tree.compile_fragment(fragment, lir, self.config)
+            tree.branches.append(fragment)
+            if self.config.enable_stitching:
+                recorder.anchor_exit.target = fragment
+            vm.stats.tracing.branch_traces += 1
+            vm.stats.tracing.traces_completed += 1
+        else:
+            fragment = tree.fragment
+            fragment.bytecount = recorder.bytecodes_recorded
+            tree.compile_fragment(fragment, lir, self.config)
+            key = (id(tree.code), tree.header_pc)
+            self.trees.setdefault(key, []).append(tree)
+            self._code_refs.append(tree.code)
+            vm.stats.tracing.trees_formed += 1
+            vm.stats.tracing.traces_completed += 1
+            if status == "unstable":
+                vm.stats.tracing.unstable_traces += 1
+        # Nesting forgiveness (Section 4.2): outer loops that aborted on
+        # this not-yet-ready tree get their failure undone.
+        self.blacklist.note_inner_success(tree.code, tree.header_pc)
+
+    def abort_recording(self, reason: str, inner_key: Optional[tuple] = None) -> None:
+        vm = self.vm
+        recorder = vm.recorder
+        if recorder is None:
+            return
+        recorder.finished = True
+        vm.recorder = None
+        vm.stats.tracing.count_abort(reason)
+        vm.stats.ledger.charge(Activity.RECORD, costs.ABORT_COST)
+        tree = recorder.tree
+        if recorder.is_branch:
+            # One failed attempt permanently blocks this exit (branch
+            # traces are cheap to lose; the loop still runs via its
+            # root trace).
+            recorder.anchor_exit.recording_blocked = True
+            return
+        blacklisted = self.blacklist.note_failure(
+            tree.code, tree.header_pc, inner_key=inner_key
+        )
+        vm.stats.tracing.backoffs += 1
+        if blacklisted:
+            tree.code.blacklist_header(tree.header_pc)
+            vm.stats.tracing.blacklisted += 1
+
+    # -- nesting (Section 4.1) ------------------------------------------------------------
+
+    def _handle_inner_header(self, interp, frame: Frame, pc: int, recorder) -> None:
+        vm = self.vm
+        code = frame.code
+        if not self.config.enable_nesting:
+            self.abort_recording("nested-loop-nesting-disabled")
+            return
+        inner = self.find_matching_tree(interp, frame, pc)
+        if inner is None:
+            # Abort the outer recording and immediately try to record
+            # the inner loop ("The trace monitor will see the inner loop
+            # header, and will immediately start recording").
+            self.abort_recording(
+                "inner-tree-not-ready", inner_key=(id(code), pc)
+            )
+            if code.loop_at_header(pc) is not None:
+                self.consider_recording(interp, frame, pc, force_hot=True)
+            return
+        depth_before = len(interp.frames)
+        event = self.execute_tree(interp, frame, inner, depth_before - 1)
+        clean = (
+            event.exit.kind == exitkind.LOOP
+            and event.exit.depth == 0
+            and event.exception is None
+            and len(interp.frames) == depth_before
+        )
+        if not clean:
+            # "If this happens during recording, we abort the outer
+            # trace, to give the inner tree a chance to finish growing"
+            # — abort (with forgiveness registered on the inner header)
+            # and immediately let the inner exit grow its branch trace.
+            self.abort_recording(
+                "inner-tree-side-exit", inner_key=(id(code), pc)
+            )
+            grow_exit = event.exit
+            if event.inner is not None:
+                grow_exit = event.inner.exit
+            if grow_exit.kind in _BRANCHABLE_EXIT_KINDS:
+                self._maybe_branch(interp, len(interp.frames) - 1, grow_exit)
+            return
+        try:
+            recorder.record_calltree(inner, event, pc)
+        except Exception as error:
+            from repro.errors import TraceAbort
+
+            if isinstance(error, TraceAbort):
+                self.abort_recording(error.reason)
+                return
+            raise
+
+    # -- trace cache ---------------------------------------------------------------------
+
+    def find_matching_tree(self, interp, frame: Frame, pc: int) -> Optional[TraceTree]:
+        peers = self.trees.get((id(frame.code), pc))
+        if not peers:
+            return None
+        vm = self.vm
+        frames = interp.frames
+        base_index = len(frames) - 1
+        for tree in peers:
+            self._charge(
+                costs.TYPEMAP_MATCH_PER_SLOT
+                * (len(tree.entry_typemap) + len(tree.global_imports))
+            )
+            if self._tree_matches(tree, frames, base_index):
+                return tree
+        return None
+
+    def _tree_matches(self, tree: TraceTree, frames, base_index: int) -> bool:
+        vm = self.vm
+        for loc, trace_type in tree.entry_typemap:
+            actual = type_of_box(read_location(vm, frames, base_index, loc))
+            if actual is trace_type:
+                continue
+            if trace_type is TraceType.DOUBLE and actual is TraceType.INT:
+                continue
+            return False
+        for name, _gslot, trace_type in tree.global_imports:
+            actual = type_of_box(vm.globals.get(name, UNDEFINED))
+            if actual is trace_type:
+                continue
+            if trace_type is TraceType.DOUBLE and actual is TraceType.INT:
+                continue
+            return False
+        return True
+
+    # -- trace execution --------------------------------------------------------------------
+
+    def execute_tree(
+        self, interp, frame: Frame, tree: TraceTree, base_index: int
+    ) -> ExitEvent:
+        """Import state, run the tree's native code, restore at the exit.
+
+        Type-unstable exits chain directly into a complementary peer
+        tree when one matches (the paper's Figure 6 linked groups),
+        without bouncing through the interpreter's dispatch loop.
+        """
+        while True:
+            event = self._execute_tree_once(interp, frame, tree, base_index)
+            exit = event.exit
+            if (
+                exit.kind != exitkind.UNSTABLE
+                or event.exception is not None
+                or self.vm.recorder is not None
+            ):
+                return event
+            peer = self.find_matching_tree(interp, interp.frames[-1], exit.pc)
+            if peer is None:
+                return event
+            # Restoration left the interpreter exactly at the loop
+            # header; enter the complementary tree immediately.
+            self.vm.stats.tracing.unstable_links += 1
+            frame = interp.frames[-1]
+            tree = peer
+            base_index = len(interp.frames) - 1
+
+    def _execute_tree_once(
+        self, interp, frame: Frame, tree: TraceTree, base_index: int
+    ) -> ExitEvent:
+        from repro.jit.native import ActivationRecord, GlobalArea, NativeMachine
+
+        vm = self.vm
+        stats = vm.stats
+        stats.tracing.trace_entries += 1
+        area = GlobalArea()
+        ar = ActivationRecord(tree.ar_size, area)
+        frames = interp.frames
+        import_cycles = costs.TRACE_CALL
+        for loc, trace_type in tree.entry_typemap:
+            box = read_location(vm, frames, base_index, loc)
+            ar.slots[tree.slot_of_loc[loc]] = unbox_for_type(box, trace_type)
+            import_cycles += costs.AR_IMPORT_PER_SLOT
+        self._charge(import_cycles)
+        machine = NativeMachine(vm, tree, ar)
+        if not machine.ensure_globals(tree):
+            raise VMInternalError("tree matched but globals failed to import")
+        vm.trace_reentered = False
+        vm.native_depth += 1
+        try:
+            event = machine.run(tree.fragment)
+        finally:
+            vm.native_depth -= 1
+        self.handle_exit_event(interp, event, base_index)
+        return event
+
+    # -- exit handling -----------------------------------------------------------------------
+
+    def handle_exit_event(self, interp, event: ExitEvent, base_index: int) -> None:
+        vm = self.vm
+        stats = vm.stats
+        exit = event.exit
+        stats.tracing.side_exits_taken += 1
+        exit.hit_count += 1
+        # Flush dirty globals (the only channel global writes take).
+        self._flush_area(event.ar.globals)
+        self._restore_state(interp, event, base_index)
+        if event.exception is not None:
+            raise event.exception
+        kind = exit.kind
+        if kind == exitkind.PREEMPT:
+            vm.service_preemption()
+            return
+        if kind == exitkind.INNER and event.inner is not None:
+            # Hotness is attributed to the *inner* exit; a branch may
+            # grow in the inner tree (Section 4.1).
+            inner_exit = event.inner.exit
+            inner_exit.hit_count += 1
+            if inner_exit.kind in _BRANCHABLE_EXIT_KINDS:
+                self._maybe_branch(interp, base_index + exit.depth, inner_exit)
+            return
+        if kind in _BRANCHABLE_EXIT_KINDS:
+            self._maybe_branch(interp, base_index, exit)
+            return
+        if kind in (exitkind.REENTRY, exitkind.STATE, exitkind.ERROR):
+            stats.tracing.deep_bails += 1
+        # UNSTABLE exits are chained to complementary peers by
+        # execute_tree (Figure 6); LOOP needs nothing further.
+
+    def _maybe_branch(self, interp, base_index: int, exit: SideExit) -> None:
+        vm = self.vm
+        if not self.config.enable_stitching:
+            return
+        if (
+            vm.recorder is None
+            and exit.target is None
+            and not exit.recording_blocked
+            and exit.hit_count >= self.config.exit_hotness_threshold
+            and len(exit.tree.branches) < self.config.max_branch_traces
+        ):
+            if exit.result_loc is not None:
+                # Pin the actual type the branch will be specialized for
+                # (the type guard fired because it differed from the
+                # recorded expectation).
+                box = read_location(vm, interp.frames, base_index, exit.result_loc)
+                exit.branch_result_type = type_of_box(box)
+            self.start_branch_recording(exit)
+
+    def _flush_area(self, area) -> None:
+        vm = self.vm
+        if not area.dirty:
+            return
+        cycles = 0
+        for index in area.dirty:
+            vm.globals[self.global_names[index]] = box_for_type(
+                area.values[index], area.types[index]
+            )
+            cycles += costs.AR_EXPORT_PER_SLOT
+        area.dirty.clear()
+        self._charge(cycles)
+
+    def _restore_state(self, interp, event: ExitEvent, base_index: int) -> None:
+        """Re-box live values and rebuild interpreter frames (Section 6.1)."""
+        vm = self.vm
+        exit = event.exit
+        ar = event.ar
+        frames = interp.frames
+        del frames[base_index + 1 :]
+        anchor = frames[base_index]
+        skip_depth = -1
+        if exit.kind == exitkind.INNER and event.inner is not None:
+            # The nested tree's exit event restores the frame it ran in.
+            skip_depth = exit.depth
+        cycles = 0
+        by_depth_stack: Dict[int, Dict[int, object]] = {}
+        # Synthesize the inlined frames first (locals default undefined).
+        synthesized: List[Frame] = []
+        for index, snapshot in enumerate(exit.frames):
+            new_frame = Frame(snapshot.code)
+            new_frame.pc = snapshot.resume_pc
+            synthesized.append(new_frame)
+            cycles += costs.FRAME_SYNTH
+        anchor.pc = exit.anchor_resume_pc
+
+        def frame_at(depth: int) -> Frame:
+            return anchor if depth == 0 else synthesized[depth - 1]
+
+        for loc, trace_type, slot in exit.livemap:
+            kind = loc[0]
+            if kind == "global":
+                continue  # globals travel via the dirty-area flush
+            depth = loc[1]
+            if depth == skip_depth:
+                continue
+            if loc == exit.result_loc:
+                continue
+            box = box_for_type(ar.read(slot), trace_type)
+            cycles += costs.AR_EXPORT_PER_SLOT
+            target = frame_at(depth)
+            if kind == "local":
+                target.locals[loc[2]] = box
+            elif kind == "this":
+                target.this_box = box
+            else:  # stack
+                by_depth_stack.setdefault(depth, {})[loc[2]] = box
+        # Rebuild operand stacks at their recorded depths.
+        depths = [exit.stack_depth0] + [s.stack_depth for s in exit.frames]
+        for depth, frame in enumerate([anchor] + synthesized):
+            if depth == skip_depth:
+                continue
+            wanted = depths[depth]
+            entries = by_depth_stack.get(depth, {})
+            frame.stack[:] = [entries.get(i, UNDEFINED) for i in range(wanted)]
+        if exit.result_loc is not None and event.boxed_result is not None:
+            loc = exit.result_loc
+            target = frame_at(loc[1])
+            result_box = event.boxed_result
+            index = loc[2]
+            while len(target.stack) <= index:
+                target.stack.append(UNDEFINED)
+            target.stack[index] = result_box
+        frames.extend(synthesized)
+        self._charge(cycles)
+        if event.inner is not None:
+            inner_base = base_index + exit.depth
+            self._restore_state(interp, event.inner, inner_base)

@@ -1,0 +1,44 @@
+"""The type-speculation oracle (paper Section 3.2).
+
+"To avoid future speculative failures involving this variable, and to
+obtain a type-stable trace, we note the fact that the variable in
+question has been observed to sometimes hold non-integer values in an
+advisory data structure which we call the oracle.  When compiling
+loops, we consult the oracle before specializing values to integers."
+
+Keys are stable identities of variables: ``('local', id(code), index)``
+and ``('global', name)``.
+"""
+
+from __future__ import annotations
+
+
+class Oracle:
+    """Advisory set of variables that must not be int-specialized."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._demoted = set()
+        self.marks = 0
+
+    @staticmethod
+    def local_key(code, index: int) -> tuple:
+        return ("local", id(code), index)
+
+    @staticmethod
+    def global_key(name: str) -> tuple:
+        return ("global", name)
+
+    def mark_double(self, key: tuple) -> None:
+        """Record that this variable has held a non-integer value."""
+        if key not in self._demoted:
+            self._demoted.add(key)
+            self.marks += 1
+
+    def should_demote(self, key: tuple) -> bool:
+        """Should this variable be imported as a double even when it
+        currently holds an integer value?"""
+        return self.enabled and key in self._demoted
+
+    def clear(self) -> None:
+        self._demoted.clear()

@@ -1,0 +1,184 @@
+"""Trace trees and compiled fragments (paper Sections 3.2, 4, 6.1).
+
+A :class:`TraceTree` is anchored at one loop header with one entry type
+map ("there may be several trees for a given loop header" — those are
+*peers*).  It owns:
+
+* the **activation-record layout**: every interpreter location the tree
+  touches gets a fixed AR slot, shared by the root trace and every
+  branch trace (identical type maps => identical layouts, Section 6.2);
+* the root :class:`Fragment` and its branch fragments;
+* the entry type map (locations) and the global import list (globals
+  are slotted VM-wide by the monitor and shared across nested trees);
+* its side exits and the bookkeeping for unstable-loop linking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro import costs
+from repro.core.typemap import TraceType
+from repro.errors import VMInternalError
+from repro.jit.backward import run_backward_filters
+from repro.jit.codegen import generate
+
+
+class Fragment:
+    """A compiled trace: the root trunk or one branch."""
+
+    __slots__ = (
+        "tree",
+        "kind",
+        "lir",
+        "native",
+        "bytecount",
+        "anchor_exit",
+        "n_spills",
+        "spill_base",
+        "backward_stats",
+    )
+
+    def __init__(self, tree, kind: str):
+        self.tree = tree
+        self.kind = kind  # 'root' or 'branch'
+        self.lir = []
+        self.native = []
+        self.bytecount = 0
+        self.anchor_exit = None  # for branches: the exit this hangs off
+        self.n_spills = 0
+        self.spill_base = 0
+        self.backward_stats = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Fragment {self.kind} of tree@{self.tree.header_pc} "
+            f"{len(self.lir)} lir / {len(self.native)} native>"
+        )
+
+
+class TraceTree:
+    """One trace tree: root trace + branch traces, one entry type map."""
+
+    def __init__(self, code, header_pc: int, loop_info):
+        self.code = code
+        self.header_pc = header_pc
+        self.loop_info = loop_info
+        #: (location, TraceType) pairs for non-global entry locations.
+        self.entry_typemap: List[Tuple[tuple, TraceType]] = []
+        #: (name, monitor global slot, TraceType) triples.
+        self.global_imports: List[Tuple[str, int, TraceType]] = []
+        self._global_types: Dict[str, TraceType] = {}
+        self.slot_of_loc: Dict[tuple, int] = {}
+        self.loc_of_slot: Dict[int, tuple] = {}
+        self.n_location_slots = 0
+        self.ar_size = 0
+        self.fragment = Fragment(self, "root")
+        self.branches: List[Fragment] = []
+        self.exits_by_id: Dict[int, object] = {}
+        self.iterations = 0
+        #: Exits that terminate type-unstable traces (Figure 6 linking).
+        self.unstable_exits: List[object] = []
+        #: Globals any trace of this tree writes (used by outer traces
+        #: calling this tree to invalidate their cached global values).
+        self.written_globals: set = set()
+
+    # -- AR layout ---------------------------------------------------------------
+
+    def slot_for(self, loc: tuple) -> int:
+        """The AR slot of ``loc``, allocating one if new."""
+        slot = self.slot_of_loc.get(loc)
+        if slot is None:
+            slot = self.n_location_slots
+            self.n_location_slots += 1
+            self.slot_of_loc[loc] = slot
+            self.loc_of_slot[slot] = loc
+            self.ar_size = max(self.ar_size, self.n_location_slots)
+        return slot
+
+    def slot_kinds(self) -> Dict[int, str]:
+        """slot -> location kind, for the backward filters' statistics."""
+        kinds = {}
+        for loc, slot in self.slot_of_loc.items():
+            if loc[0] == "stack":
+                kinds[slot] = "stack"
+            elif loc[0] in ("local", "this"):
+                # Anchor-frame slots are "data"; inlined-frame slots
+                # mirror the interpreter call stack.
+                kinds[slot] = "stack" if loc[0] == "local" and loc[1] == 0 else "call"
+            else:
+                kinds[slot] = "global"
+        return kinds
+
+    # -- entry map management -----------------------------------------------------
+
+    def add_entry_location(self, loc: tuple, trace_type: TraceType) -> int:
+        slot = self.slot_for(loc)
+        for existing_loc, _existing in self.entry_typemap:
+            if existing_loc == loc:
+                return slot
+        self.entry_typemap.append((loc, trace_type))
+        return slot
+
+    def entry_type_of(self, loc: tuple) -> Optional[TraceType]:
+        for existing_loc, trace_type in self.entry_typemap:
+            if existing_loc == loc:
+                return trace_type
+        return None
+
+    def add_global_import(self, name: str, gslot: int, trace_type: TraceType) -> None:
+        existing = self._global_types.get(name)
+        if existing is not None:
+            if existing is not trace_type:
+                raise VMInternalError(
+                    f"conflicting global import types for {name!r}"
+                )
+            return
+        self._global_types[name] = trace_type
+        self.global_imports.append((name, gslot, trace_type))
+
+    def global_type_of(self, name: str) -> Optional[TraceType]:
+        return self._global_types.get(name)
+
+    def known_global_names(self) -> set:
+        """Every global this tree reads or writes."""
+        return set(self._global_types) | self.written_globals
+
+    @property
+    def import_slot_set(self) -> frozenset:
+        """AR slots reloaded by the prologue at the loop edge (the loop
+        instruction's observation set for dead-store elimination)."""
+        slots = {self.slot_of_loc[loc] for loc, _t in self.entry_typemap}
+        for _name, gslot, _t in self.global_imports:
+            slots.add(-(gslot + 1))
+        return frozenset(slots)
+
+    # -- compilation -----------------------------------------------------------------
+
+    def compile_fragment(self, fragment: Fragment, lir: List, vm_config) -> None:
+        """Run backward filters + codegen; attach the result."""
+        filtered, backward_stats = run_backward_filters(
+            lir,
+            self.slot_kinds(),
+            enable_dse=vm_config.enable_dse,
+            enable_dce=vm_config.enable_dce,
+        )
+        fragment.lir = filtered
+        fragment.backward_stats = backward_stats
+        fragment.spill_base = self.n_location_slots
+        fragment.native, fragment.n_spills = generate(filtered, fragment.spill_base)
+        self.ar_size = max(self.ar_size, fragment.spill_base + fragment.n_spills)
+        for ins in filtered:
+            if ins.exit is not None:
+                ins.exit.fragment = fragment
+                ins.exit.tree = self
+                self.exits_by_id[ins.exit.exit_id] = ins.exit
+
+    def compile_cost(self, lir_length: int) -> int:
+        return costs.COMPILE_FRAGMENT + costs.COMPILE_PER_LIR * lir_length
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceTree {self.code.name}@{self.header_pc} "
+            f"branches={len(self.branches)} iters={self.iterations}>"
+        )

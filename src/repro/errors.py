@@ -1,0 +1,54 @@
+"""Exception hierarchy for the whole VM."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class JSLiteSyntaxError(ReproError):
+    """Raised by the lexer or parser on malformed source."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.message = message
+        self.line = line
+        self.column = column
+
+
+class CompileError(ReproError):
+    """Raised by the bytecode compiler on unsupported constructs."""
+
+
+class JSThrow(ReproError):
+    """A JSLite ``throw`` propagating through the host.
+
+    Carries the thrown boxed value; caught by interpreter ``try`` frames
+    or surfaces to the embedder if uncaught.
+    """
+
+    def __init__(self, value):
+        super().__init__(f"uncaught JSLite exception: {value!r}")
+        self.value = value
+
+
+class VMInternalError(ReproError):
+    """An invariant violation inside the VM (a bug, not a user error)."""
+
+
+class NativeMachineError(VMInternalError):
+    """Invariant violation inside the simulated native machine."""
+
+
+class TraceAbort(ReproError):
+    """Raised inside the recorder to abort the current recording.
+
+    The paper, Section 3.1 ("Aborts"): constructs the implementation
+    cannot record (eval-like natives, exceptions, overlong traces) abort
+    recording and return to the trace monitor.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason

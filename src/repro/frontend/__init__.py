@@ -1,0 +1,21 @@
+"""Frontend: lexer, parser, and AST for JSLite.
+
+JSLite is the JavaScript subset this reproduction interprets and
+traces: functions, ``var`` locals, the full loop/branch statement set,
+numbers (with the int/double representation split), strings, booleans,
+``null``/``undefined``, objects with prototypes, dense arrays,
+``new``/``this``, ``typeof``/``delete``, ``switch``, ``for..in``,
+``throw``/``try``/``catch``/``finally``, and the complete C-like
+operator set including bitwise operators.
+
+Deliberately out of scope (documented substitutions): closures over
+enclosing function locals (functions see their own locals plus
+globals), getters/setters, regexps, and ``eval`` — though an
+``eval``-like *untraceable native* exists so the paper's abort and
+blacklisting machinery is exercised.
+"""
+
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import parse
+
+__all__ = ["tokenize", "parse"]

@@ -1,0 +1,252 @@
+"""AST node definitions for JSLite.
+
+Plain dataclasses; every node carries the 1-based source line for
+diagnostics and for mapping traces back to source in examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class NumberLiteral(Node):
+    value: float = 0.0
+
+
+@dataclass
+class StringLiteral(Node):
+    value: str = ""
+
+
+@dataclass
+class BooleanLiteral(Node):
+    value: bool = False
+
+
+@dataclass
+class NullLiteral(Node):
+    pass
+
+
+@dataclass
+class Identifier(Node):
+    name: str = ""
+
+
+@dataclass
+class ThisExpr(Node):
+    pass
+
+
+@dataclass
+class ArrayLiteral(Node):
+    elements: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class ObjectLiteral(Node):
+    # (name, value) pairs
+    properties: List[tuple] = field(default_factory=list)
+
+
+@dataclass
+class FunctionExpr(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class UnaryExpr(Node):
+    op: str = ""
+    operand: Optional[Node] = None
+
+
+@dataclass
+class UpdateExpr(Node):
+    """``++x``, ``x--``, etc."""
+
+    op: str = ""  # "++" or "--"
+    target: Optional[Node] = None
+    prefix: bool = True
+
+
+@dataclass
+class BinaryExpr(Node):
+    op: str = ""
+    left: Optional[Node] = None
+    right: Optional[Node] = None
+
+
+@dataclass
+class LogicalExpr(Node):
+    """Short-circuiting ``&&`` / ``||``."""
+
+    op: str = ""
+    left: Optional[Node] = None
+    right: Optional[Node] = None
+
+
+@dataclass
+class ConditionalExpr(Node):
+    test: Optional[Node] = None
+    consequent: Optional[Node] = None
+    alternate: Optional[Node] = None
+
+
+@dataclass
+class AssignExpr(Node):
+    """``target op= value`` where op may be empty (plain ``=``)."""
+
+    op: str = ""
+    target: Optional[Node] = None
+    value: Optional[Node] = None
+
+
+@dataclass
+class CallExpr(Node):
+    callee: Optional[Node] = None
+    args: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class NewExpr(Node):
+    callee: Optional[Node] = None
+    args: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class MemberExpr(Node):
+    """``object.name`` (computed=False) or ``object[index]`` (True)."""
+
+    obj: Optional[Node] = None
+    name: str = ""
+    index: Optional[Node] = None
+    computed: bool = False
+
+
+@dataclass
+class DeleteExpr(Node):
+    target: Optional[Node] = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class VarDecl(Node):
+    # (name, initializer or None) pairs
+    declarations: List[tuple] = field(default_factory=list)
+
+
+@dataclass
+class FunctionDecl(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class ExpressionStmt(Node):
+    expression: Optional[Node] = None
+
+
+@dataclass
+class IfStmt(Node):
+    test: Optional[Node] = None
+    consequent: Optional[Node] = None
+    alternate: Optional[Node] = None
+
+
+@dataclass
+class WhileStmt(Node):
+    test: Optional[Node] = None
+    body: Optional[Node] = None
+
+
+@dataclass
+class DoWhileStmt(Node):
+    body: Optional[Node] = None
+    test: Optional[Node] = None
+
+
+@dataclass
+class ForStmt(Node):
+    init: Optional[Node] = None  # VarDecl or expression or None
+    test: Optional[Node] = None
+    update: Optional[Node] = None
+    body: Optional[Node] = None
+
+
+@dataclass
+class ForInStmt(Node):
+    """``for (var k in obj)`` / ``for (k in obj)``."""
+
+    var_name: str = ""
+    is_declaration: bool = False
+    obj: Optional[Node] = None
+    body: Optional[Node] = None
+
+
+@dataclass
+class BreakStmt(Node):
+    pass
+
+
+@dataclass
+class ContinueStmt(Node):
+    pass
+
+
+@dataclass
+class ReturnStmt(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class ThrowStmt(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class TryStmt(Node):
+    block: List[Node] = field(default_factory=list)
+    catch_name: str = ""
+    catch_block: Optional[List[Node]] = None
+    finally_block: Optional[List[Node]] = None
+
+
+@dataclass
+class SwitchStmt(Node):
+    discriminant: Optional[Node] = None
+    # (test expression or None for default, [statements]) pairs
+    cases: List[tuple] = field(default_factory=list)
+
+
+@dataclass
+class BlockStmt(Node):
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class EmptyStmt(Node):
+    pass
+
+
+@dataclass
+class Program(Node):
+    body: List[Node] = field(default_factory=list)

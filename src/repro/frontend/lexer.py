@@ -1,0 +1,189 @@
+"""Hand-written lexer for JSLite."""
+
+from __future__ import annotations
+
+from repro.errors import JSLiteSyntaxError
+from repro.frontend.tokens import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    KEYWORDS,
+    NUMBER,
+    PUNCT,
+    PUNCTUATION,
+    STRING,
+    Token,
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$"
+)
+_IDENT_PART = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "\n": "",  # line continuation
+}
+
+
+class _Lexer:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.line_start = 0
+
+    def error(self, message: str) -> JSLiteSyntaxError:
+        return JSLiteSyntaxError(message, self.line, self.pos - self.line_start + 1)
+
+    def _newline(self, at: int) -> None:
+        self.line += 1
+        self.line_start = at + 1
+
+    def skip_trivia(self) -> None:
+        source, n = self.source, len(self.source)
+        while self.pos < n:
+            ch = source[self.pos]
+            if ch == "\n":
+                self._newline(self.pos)
+                self.pos += 1
+            elif ch in " \t\r\f\v":
+                self.pos += 1
+            elif ch == "/" and self.pos + 1 < n and source[self.pos + 1] == "/":
+                while self.pos < n and source[self.pos] != "\n":
+                    self.pos += 1
+            elif ch == "/" and self.pos + 1 < n and source[self.pos + 1] == "*":
+                end = source.find("*/", self.pos + 2)
+                if end < 0:
+                    raise self.error("unterminated block comment")
+                for i in range(self.pos, end):
+                    if source[i] == "\n":
+                        self._newline(i)
+                self.pos = end + 2
+            else:
+                return
+
+    def next_token(self) -> Token:
+        self.skip_trivia()
+        line = self.line
+        column = self.pos - self.line_start + 1
+        source, n = self.source, len(self.source)
+        if self.pos >= n:
+            return Token(EOF, None, line, column)
+        ch = source[self.pos]
+        if ch in _IDENT_START:
+            return self._lex_ident(line, column)
+        if ch in _DIGITS or (
+            ch == "." and self.pos + 1 < n and source[self.pos + 1] in _DIGITS
+        ):
+            return self._lex_number(line, column)
+        if ch in "'\"":
+            return self._lex_string(line, column)
+        for punct in PUNCTUATION:
+            if source.startswith(punct, self.pos):
+                self.pos += len(punct)
+                return Token(PUNCT, punct, line, column)
+        raise self.error(f"unexpected character {ch!r}")
+
+    def _lex_ident(self, line: int, column: int) -> Token:
+        source, n = self.source, len(self.source)
+        start = self.pos
+        while self.pos < n and source[self.pos] in _IDENT_PART:
+            self.pos += 1
+        word = source[start : self.pos]
+        kind = KEYWORD if word in KEYWORDS else IDENT
+        return Token(kind, word, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        source, n = self.source, len(self.source)
+        start = self.pos
+        if source.startswith(("0x", "0X"), self.pos):
+            self.pos += 2
+            while self.pos < n and source[self.pos] in _HEX_DIGITS:
+                self.pos += 1
+            text = source[start : self.pos]
+            if len(text) == 2:
+                raise self.error("malformed hex literal")
+            return Token(NUMBER, float(int(text, 16)), line, column)
+        is_float = False
+        while self.pos < n and source[self.pos] in _DIGITS:
+            self.pos += 1
+        if self.pos < n and source[self.pos] == ".":
+            is_float = True
+            self.pos += 1
+            while self.pos < n and source[self.pos] in _DIGITS:
+                self.pos += 1
+        if self.pos < n and source[self.pos] in "eE":
+            is_float = True
+            self.pos += 1
+            if self.pos < n and source[self.pos] in "+-":
+                self.pos += 1
+            if self.pos >= n or source[self.pos] not in _DIGITS:
+                raise self.error("malformed exponent")
+            while self.pos < n and source[self.pos] in _DIGITS:
+                self.pos += 1
+        text = source[start : self.pos]
+        value = float(text) if is_float else float(int(text))
+        return Token(NUMBER, value, line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        source, n = self.source, len(self.source)
+        quote = source[self.pos]
+        self.pos += 1
+        parts = []
+        while True:
+            if self.pos >= n:
+                raise self.error("unterminated string literal")
+            ch = source[self.pos]
+            if ch == quote:
+                self.pos += 1
+                return Token(STRING, "".join(parts), line, column)
+            if ch == "\n":
+                raise self.error("newline in string literal")
+            if ch == "\\":
+                self.pos += 1
+                if self.pos >= n:
+                    raise self.error("unterminated escape")
+                esc = source[self.pos]
+                if esc == "x":
+                    hex_text = source[self.pos + 1 : self.pos + 3]
+                    if len(hex_text) < 2 or any(c not in _HEX_DIGITS for c in hex_text):
+                        raise self.error("malformed \\x escape")
+                    parts.append(chr(int(hex_text, 16)))
+                    self.pos += 3
+                elif esc == "u":
+                    hex_text = source[self.pos + 1 : self.pos + 5]
+                    if len(hex_text) < 4 or any(c not in _HEX_DIGITS for c in hex_text):
+                        raise self.error("malformed \\u escape")
+                    parts.append(chr(int(hex_text, 16)))
+                    self.pos += 5
+                else:
+                    if esc == "\n":
+                        self._newline(self.pos)
+                    parts.append(_ESCAPES.get(esc, esc))
+                    self.pos += 1
+            else:
+                parts.append(ch)
+                self.pos += 1
+
+
+def tokenize(source: str) -> list:
+    """Lex ``source`` into a list of tokens ending with an EOF token."""
+    lexer = _Lexer(source)
+    tokens = []
+    while True:
+        token = lexer.next_token()
+        tokens.append(token)
+        if token.kind == EOF:
+            return tokens

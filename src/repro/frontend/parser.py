@@ -1,0 +1,591 @@
+"""Recursive-descent parser for JSLite."""
+
+from __future__ import annotations
+
+from repro.errors import JSLiteSyntaxError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import EOF, IDENT, KEYWORD, NUMBER, PUNCT, STRING, Token
+
+# Binary operator precedence (higher binds tighter).  ``&&``/``||`` are
+# handled separately because they short-circuit.
+_BINARY_PRECEDENCE = {
+    "|": 6,
+    "^": 7,
+    "&": 8,
+    "==": 9,
+    "!=": 9,
+    "===": 9,
+    "!==": 9,
+    "<": 10,
+    "<=": 10,
+    ">": 10,
+    ">=": 10,
+    "<<": 11,
+    ">>": 11,
+    ">>>": 11,
+    "+": 12,
+    "-": 12,
+    "*": 13,
+    "/": 13,
+    "%": 13,
+}
+
+_ASSIGN_OPS = {
+    "=": "",
+    "+=": "+",
+    "-=": "-",
+    "*=": "*",
+    "/=": "/",
+    "%=": "%",
+    "&=": "&",
+    "|=": "|",
+    "^=": "^",
+    "<<=": "<<",
+    ">>=": ">>",
+    ">>>=": ">>>",
+}
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> JSLiteSyntaxError:
+        token = self.current
+        return JSLiteSyntaxError(message, token.line, token.column)
+
+    def eat_punct(self, text: str) -> Token:
+        if not self.current.is_punct(text):
+            raise self.error(f"expected {text!r}, found {self.current.value!r}")
+        return self.advance()
+
+    def eat_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self.error(f"expected {word!r}, found {self.current.value!r}")
+        return self.advance()
+
+    def eat_ident(self) -> str:
+        if self.current.kind != IDENT:
+            raise self.error(f"expected identifier, found {self.current.value!r}")
+        return self.advance().value
+
+    def match_punct(self, text: str) -> bool:
+        if self.current.is_punct(text):
+            self.advance()
+            return True
+        return False
+
+    def eat_semicolon(self) -> None:
+        """Require ``;`` (JSLite does not do automatic semicolon insertion,
+        except before ``}`` and EOF, which covers idiomatic benchmarks)."""
+        if self.match_punct(";"):
+            return
+        if self.current.kind == EOF or self.current.is_punct("}"):
+            return
+        raise self.error("expected ';'")
+
+    # -- program / statements ------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        body = []
+        while self.current.kind != EOF:
+            body.append(self.parse_statement())
+        return ast.Program(line=1, body=body)
+
+    def parse_statement(self) -> ast.Node:
+        token = self.current
+        if token.kind == KEYWORD:
+            word = token.value
+            if word == "var":
+                return self.parse_var_decl()
+            if word == "function":
+                return self.parse_function_decl()
+            if word == "if":
+                return self.parse_if()
+            if word == "while":
+                return self.parse_while()
+            if word == "do":
+                return self.parse_do_while()
+            if word == "for":
+                return self.parse_for()
+            if word == "break":
+                self.advance()
+                self.eat_semicolon()
+                return ast.BreakStmt(line=token.line)
+            if word == "continue":
+                self.advance()
+                self.eat_semicolon()
+                return ast.ContinueStmt(line=token.line)
+            if word == "return":
+                return self.parse_return()
+            if word == "throw":
+                self.advance()
+                value = self.parse_expression()
+                self.eat_semicolon()
+                return ast.ThrowStmt(line=token.line, value=value)
+            if word == "try":
+                return self.parse_try()
+            if word == "switch":
+                return self.parse_switch()
+        if token.is_punct("{"):
+            return self.parse_block()
+        if token.is_punct(";"):
+            self.advance()
+            return ast.EmptyStmt(line=token.line)
+        expression = self.parse_expression()
+        self.eat_semicolon()
+        return ast.ExpressionStmt(line=token.line, expression=expression)
+
+    def parse_block(self) -> ast.BlockStmt:
+        start = self.eat_punct("{")
+        body = []
+        while not self.current.is_punct("}"):
+            if self.current.kind == EOF:
+                raise self.error("unterminated block")
+            body.append(self.parse_statement())
+        self.eat_punct("}")
+        return ast.BlockStmt(line=start.line, body=body)
+
+    def parse_var_decl(self, eat_semi: bool = True) -> ast.VarDecl:
+        start = self.eat_keyword("var")
+        declarations = []
+        while True:
+            name = self.eat_ident()
+            init = None
+            if self.match_punct("="):
+                init = self.parse_assignment()
+            declarations.append((name, init))
+            if not self.match_punct(","):
+                break
+        if eat_semi:
+            self.eat_semicolon()
+        return ast.VarDecl(line=start.line, declarations=declarations)
+
+    def parse_function_decl(self) -> ast.FunctionDecl:
+        start = self.eat_keyword("function")
+        name = self.eat_ident()
+        params, body = self.parse_function_rest()
+        return ast.FunctionDecl(line=start.line, name=name, params=params, body=body)
+
+    def parse_function_rest(self):
+        self.eat_punct("(")
+        params = []
+        if not self.current.is_punct(")"):
+            while True:
+                params.append(self.eat_ident())
+                if not self.match_punct(","):
+                    break
+        self.eat_punct(")")
+        block = self.parse_block()
+        return params, block.body
+
+    def parse_if(self) -> ast.IfStmt:
+        start = self.eat_keyword("if")
+        self.eat_punct("(")
+        test = self.parse_expression()
+        self.eat_punct(")")
+        consequent = self.parse_statement()
+        alternate = None
+        if self.current.is_keyword("else"):
+            self.advance()
+            alternate = self.parse_statement()
+        return ast.IfStmt(
+            line=start.line, test=test, consequent=consequent, alternate=alternate
+        )
+
+    def parse_while(self) -> ast.WhileStmt:
+        start = self.eat_keyword("while")
+        self.eat_punct("(")
+        test = self.parse_expression()
+        self.eat_punct(")")
+        body = self.parse_statement()
+        return ast.WhileStmt(line=start.line, test=test, body=body)
+
+    def parse_do_while(self) -> ast.DoWhileStmt:
+        start = self.eat_keyword("do")
+        body = self.parse_statement()
+        self.eat_keyword("while")
+        self.eat_punct("(")
+        test = self.parse_expression()
+        self.eat_punct(")")
+        self.eat_semicolon()
+        return ast.DoWhileStmt(line=start.line, body=body, test=test)
+
+    def parse_for(self):
+        start = self.eat_keyword("for")
+        self.eat_punct("(")
+        # for-in forms: `for (var k in obj)` / `for (k in obj)`.
+        if (
+            self.current.is_keyword("var")
+            and self.tokens[self.pos + 1].kind == IDENT
+            and self.tokens[self.pos + 2].is_keyword("in")
+        ):
+            self.advance()
+            name = self.eat_ident()
+            self.eat_keyword("in")
+            obj = self.parse_expression()
+            self.eat_punct(")")
+            body = self.parse_statement()
+            return ast.ForInStmt(
+                line=start.line, var_name=name, is_declaration=True, obj=obj, body=body
+            )
+        if self.current.kind == IDENT and self.tokens[self.pos + 1].is_keyword("in"):
+            name = self.eat_ident()
+            self.eat_keyword("in")
+            obj = self.parse_expression()
+            self.eat_punct(")")
+            body = self.parse_statement()
+            return ast.ForInStmt(
+                line=start.line, var_name=name, is_declaration=False, obj=obj, body=body
+            )
+        init = None
+        if not self.current.is_punct(";"):
+            if self.current.is_keyword("var"):
+                init = self.parse_var_decl(eat_semi=False)
+            else:
+                init = ast.ExpressionStmt(
+                    line=self.current.line, expression=self.parse_expression()
+                )
+        self.eat_punct(";")
+        test = None
+        if not self.current.is_punct(";"):
+            test = self.parse_expression()
+        self.eat_punct(";")
+        update = None
+        if not self.current.is_punct(")"):
+            update = self.parse_expression()
+        self.eat_punct(")")
+        body = self.parse_statement()
+        return ast.ForStmt(
+            line=start.line, init=init, test=test, update=update, body=body
+        )
+
+    def parse_return(self) -> ast.ReturnStmt:
+        start = self.eat_keyword("return")
+        value = None
+        if not (
+            self.current.is_punct(";")
+            or self.current.is_punct("}")
+            or self.current.kind == EOF
+        ):
+            value = self.parse_expression()
+        self.eat_semicolon()
+        return ast.ReturnStmt(line=start.line, value=value)
+
+    def parse_try(self) -> ast.TryStmt:
+        start = self.eat_keyword("try")
+        block = self.parse_block().body
+        catch_name = ""
+        catch_block = None
+        finally_block = None
+        if self.current.is_keyword("catch"):
+            self.advance()
+            self.eat_punct("(")
+            catch_name = self.eat_ident()
+            self.eat_punct(")")
+            catch_block = self.parse_block().body
+        if self.current.is_keyword("finally"):
+            self.advance()
+            finally_block = self.parse_block().body
+        if catch_block is None and finally_block is None:
+            raise self.error("try requires catch or finally")
+        return ast.TryStmt(
+            line=start.line,
+            block=block,
+            catch_name=catch_name,
+            catch_block=catch_block,
+            finally_block=finally_block,
+        )
+
+    def parse_switch(self) -> ast.SwitchStmt:
+        start = self.eat_keyword("switch")
+        self.eat_punct("(")
+        discriminant = self.parse_expression()
+        self.eat_punct(")")
+        self.eat_punct("{")
+        cases = []
+        seen_default = False
+        while not self.current.is_punct("}"):
+            if self.current.is_keyword("case"):
+                self.advance()
+                test = self.parse_expression()
+                self.eat_punct(":")
+            elif self.current.is_keyword("default"):
+                if seen_default:
+                    raise self.error("duplicate default clause")
+                seen_default = True
+                self.advance()
+                self.eat_punct(":")
+                test = None
+            else:
+                raise self.error("expected 'case' or 'default'")
+            body = []
+            while not (
+                self.current.is_punct("}")
+                or self.current.is_keyword("case")
+                or self.current.is_keyword("default")
+            ):
+                body.append(self.parse_statement())
+            cases.append((test, body))
+        self.eat_punct("}")
+        return ast.SwitchStmt(line=start.line, discriminant=discriminant, cases=cases)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expression(self) -> ast.Node:
+        """Full expression including the comma operator."""
+        expression = self.parse_assignment()
+        while self.current.is_punct(","):
+            line = self.advance().line
+            right = self.parse_assignment()
+            expression = ast.BinaryExpr(line=line, op=",", left=expression, right=right)
+        return expression
+
+    def parse_assignment(self) -> ast.Node:
+        left = self.parse_conditional()
+        token = self.current
+        if token.kind == PUNCT and token.value in _ASSIGN_OPS:
+            if not isinstance(left, (ast.Identifier, ast.MemberExpr)):
+                raise self.error("invalid assignment target")
+            self.advance()
+            value = self.parse_assignment()
+            return ast.AssignExpr(
+                line=token.line, op=_ASSIGN_OPS[token.value], target=left, value=value
+            )
+        return left
+
+    def parse_conditional(self) -> ast.Node:
+        test = self.parse_logical_or()
+        if self.current.is_punct("?"):
+            line = self.advance().line
+            consequent = self.parse_assignment()
+            self.eat_punct(":")
+            alternate = self.parse_assignment()
+            return ast.ConditionalExpr(
+                line=line, test=test, consequent=consequent, alternate=alternate
+            )
+        return test
+
+    def parse_logical_or(self) -> ast.Node:
+        left = self.parse_logical_and()
+        while self.current.is_punct("||"):
+            line = self.advance().line
+            right = self.parse_logical_and()
+            left = ast.LogicalExpr(line=line, op="||", left=left, right=right)
+        return left
+
+    def parse_logical_and(self) -> ast.Node:
+        left = self.parse_binary(0)
+        while self.current.is_punct("&&"):
+            line = self.advance().line
+            right = self.parse_binary(0)
+            left = ast.LogicalExpr(line=line, op="&&", left=left, right=right)
+        return left
+
+    def parse_binary(self, min_precedence: int) -> ast.Node:
+        left = self.parse_unary()
+        while True:
+            token = self.current
+            if token.kind != PUNCT:
+                return left
+            precedence = _BINARY_PRECEDENCE.get(token.value, -1)
+            if precedence < min_precedence or precedence < 0:
+                return left
+            self.advance()
+            right = self.parse_binary(precedence + 1)
+            left = ast.BinaryExpr(
+                line=token.line, op=token.value, left=left, right=right
+            )
+
+    def parse_unary(self) -> ast.Node:
+        token = self.current
+        if token.kind == PUNCT and token.value in ("-", "+", "!", "~"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.UnaryExpr(line=token.line, op=token.value, operand=operand)
+        if token.kind == PUNCT and token.value in ("++", "--"):
+            self.advance()
+            target = self.parse_unary()
+            if not isinstance(target, (ast.Identifier, ast.MemberExpr)):
+                raise self.error("invalid increment target")
+            return ast.UpdateExpr(
+                line=token.line, op=token.value, target=target, prefix=True
+            )
+        if token.is_keyword("typeof"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.UnaryExpr(line=token.line, op="typeof", operand=operand)
+        if token.is_keyword("delete"):
+            self.advance()
+            target = self.parse_unary()
+            if not isinstance(target, ast.MemberExpr):
+                raise self.error("delete requires a property reference")
+            return ast.DeleteExpr(line=token.line, target=target)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Node:
+        expression = self.parse_call_member()
+        token = self.current
+        if token.kind == PUNCT and token.value in ("++", "--"):
+            if not isinstance(expression, (ast.Identifier, ast.MemberExpr)):
+                raise self.error("invalid increment target")
+            self.advance()
+            return ast.UpdateExpr(
+                line=token.line, op=token.value, target=expression, prefix=False
+            )
+        return expression
+
+    def parse_call_member(self) -> ast.Node:
+        if self.current.is_keyword("new"):
+            line = self.advance().line
+            callee = self.parse_call_member_no_call()
+            args = []
+            if self.current.is_punct("("):
+                args = self.parse_arguments()
+            expression = ast.NewExpr(line=line, callee=callee, args=args)
+            return self.parse_member_suffix(expression)
+        expression = self.parse_primary()
+        return self.parse_member_suffix(expression)
+
+    def parse_call_member_no_call(self) -> ast.Node:
+        """Callee of ``new``: member accesses bind, calls do not."""
+        expression = self.parse_primary()
+        while True:
+            if self.current.is_punct("."):
+                line = self.advance().line
+                name = self.eat_ident()
+                expression = ast.MemberExpr(
+                    line=line, obj=expression, name=name, computed=False
+                )
+            elif self.current.is_punct("["):
+                line = self.advance().line
+                index = self.parse_expression()
+                self.eat_punct("]")
+                expression = ast.MemberExpr(
+                    line=line, obj=expression, index=index, computed=True
+                )
+            else:
+                return expression
+
+    def parse_member_suffix(self, expression: ast.Node) -> ast.Node:
+        while True:
+            if self.current.is_punct("."):
+                line = self.advance().line
+                name = self.eat_ident()
+                expression = ast.MemberExpr(
+                    line=line, obj=expression, name=name, computed=False
+                )
+            elif self.current.is_punct("["):
+                line = self.advance().line
+                index = self.parse_expression()
+                self.eat_punct("]")
+                expression = ast.MemberExpr(
+                    line=line, obj=expression, index=index, computed=True
+                )
+            elif self.current.is_punct("("):
+                line = self.current.line
+                args = self.parse_arguments()
+                expression = ast.CallExpr(line=line, callee=expression, args=args)
+            else:
+                return expression
+
+    def parse_arguments(self) -> list:
+        self.eat_punct("(")
+        args = []
+        if not self.current.is_punct(")"):
+            while True:
+                args.append(self.parse_assignment())
+                if not self.match_punct(","):
+                    break
+        self.eat_punct(")")
+        return args
+
+    def parse_primary(self) -> ast.Node:
+        token = self.current
+        if token.kind == NUMBER:
+            self.advance()
+            return ast.NumberLiteral(line=token.line, value=token.value)
+        if token.kind == STRING:
+            self.advance()
+            return ast.StringLiteral(line=token.line, value=token.value)
+        if token.kind == IDENT:
+            self.advance()
+            return ast.Identifier(line=token.line, name=token.value)
+        if token.kind == KEYWORD:
+            word = token.value
+            if word == "true" or word == "false":
+                self.advance()
+                return ast.BooleanLiteral(line=token.line, value=word == "true")
+            if word == "null":
+                self.advance()
+                return ast.NullLiteral(line=token.line)
+            if word == "this":
+                self.advance()
+                return ast.ThisExpr(line=token.line)
+            if word == "function":
+                self.advance()
+                name = ""
+                if self.current.kind == IDENT:
+                    name = self.advance().value
+                params, body = self.parse_function_rest()
+                return ast.FunctionExpr(
+                    line=token.line, name=name, params=params, body=body
+                )
+        if token.is_punct("("):
+            self.advance()
+            expression = self.parse_expression()
+            self.eat_punct(")")
+            return expression
+        if token.is_punct("["):
+            self.advance()
+            elements = []
+            if not self.current.is_punct("]"):
+                while True:
+                    elements.append(self.parse_assignment())
+                    if not self.match_punct(","):
+                        break
+            self.eat_punct("]")
+            return ast.ArrayLiteral(line=token.line, elements=elements)
+        if token.is_punct("{"):
+            self.advance()
+            properties = []
+            if not self.current.is_punct("}"):
+                while True:
+                    key_token = self.current
+                    if key_token.kind in (IDENT, KEYWORD):
+                        key = self.advance().value
+                    elif key_token.kind == STRING:
+                        key = self.advance().value
+                    elif key_token.kind == NUMBER:
+                        from repro.runtime.conversions import number_to_string
+
+                        key = number_to_string(self.advance().value)
+                    else:
+                        raise self.error("invalid object literal key")
+                    self.eat_punct(":")
+                    value = self.parse_assignment()
+                    properties.append((key, value))
+                    if not self.match_punct(","):
+                        break
+            self.eat_punct("}")
+            return ast.ObjectLiteral(line=token.line, properties=properties)
+        raise self.error(f"unexpected token {token.value!r}")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse JSLite ``source`` into a :class:`~repro.frontend.ast_nodes.Program`."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,114 @@
+"""Token kinds and the token record produced by the lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kind constants.
+NUMBER = "NUMBER"
+STRING = "STRING"
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    {
+        "var",
+        "function",
+        "if",
+        "else",
+        "while",
+        "do",
+        "for",
+        "break",
+        "continue",
+        "return",
+        "new",
+        "this",
+        "true",
+        "false",
+        "null",
+        "typeof",
+        "delete",
+        "throw",
+        "try",
+        "catch",
+        "finally",
+        "switch",
+        "case",
+        "default",
+        "in",
+    }
+)
+
+# Longest-match-first punctuation table.
+PUNCTUATION = (
+    ">>>=",
+    "===",
+    "!==",
+    ">>>",
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "?",
+    ":",
+    "=",
+    ".",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed token with its source position."""
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == PUNCT and self.value == text
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == KEYWORD and self.value == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"

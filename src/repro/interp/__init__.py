@@ -1,0 +1,18 @@
+"""The bytecode interpreter (the SpiderMonkey substrate).
+
+A boxed-value stack interpreter with explicit cycle accounting.  It is
+deliberately "fat" (paper Section 6.3): single opcodes implement full
+property lookup including prototype chains and dense-array special
+cases.  Two hooks connect it to the tracing core:
+
+* executing a ``LOOPHEADER`` opcode calls the trace monitor, which may
+  run a compiled trace (mutating the frame) or start/stop recording;
+* while a recording is active, every bytecode is forwarded to the
+  recorder before execution (and its result after, for operations whose
+  result type is unpredictable).
+"""
+
+from repro.interp.frames import Frame
+from repro.interp.interpreter import Interpreter
+
+__all__ = ["Frame", "Interpreter"]

@@ -1,0 +1,35 @@
+"""Interpreter call frames."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bytecode.compiler import Code
+from repro.runtime.values import Box, UNDEFINED
+
+
+class Frame:
+    """One interpreter activation.
+
+    ``try_stack`` holds ``(handler_pc, stack_depth)`` pairs pushed by
+    ``TRYPUSH``.  ``completion`` is the top-level completion value
+    (updated by ``POPV``), which :meth:`repro.vm.VM.run` returns.
+    """
+
+    __slots__ = ("code", "pc", "locals", "stack", "this_box", "try_stack", "completion")
+
+    def __init__(self, code: Code, this_box: Box = UNDEFINED, args: Optional[List[Box]] = None):
+        self.code = code
+        self.pc = 0
+        self.locals = [UNDEFINED] * code.n_locals
+        if args is not None:
+            n_params = len(code.params)
+            for index in range(min(len(args), n_params)):
+                self.locals[index] = args[index]
+        self.stack: List[Box] = []
+        self.this_box = this_box
+        self.try_stack: List[tuple] = []
+        self.completion: Box = UNDEFINED
+
+    def __repr__(self) -> str:
+        return f"<Frame {self.code.name} pc={self.pc} stack={len(self.stack)}>"

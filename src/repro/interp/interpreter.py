@@ -1,0 +1,678 @@
+"""The boxed-value bytecode interpreter.
+
+One big dispatch loop, SpiderMonkey-style.  Every opcode charges
+simulated cycles (see :mod:`repro.costs`) for dispatch, tag tests,
+un/boxing, and the semantic work — these charges are exactly what the
+tracing JIT later eliminates, so the cost model *is* the experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro import costs
+from repro.bytecode import opcodes as op
+from repro.bytecode.compiler import Code
+from repro.costs import Activity
+from repro.errors import JSThrow, TraceAbort, VMInternalError
+from repro.interp.frames import Frame
+from repro.runtime import conversions, operations
+from repro.runtime.builtins import STRING_METHODS
+from repro.runtime.objects import (
+    JSArray,
+    JSFunction,
+    JSObject,
+    NativeFunction,
+    new_object_with_proto,
+)
+from repro.runtime.values import (
+    Box,
+    FALSE,
+    NULL,
+    TAG_DOUBLE,
+    TAG_INT,
+    TAG_OBJECT,
+    TAG_STRING,
+    TRUE,
+    UNDEFINED,
+    make_bool,
+    make_number,
+    make_object,
+    make_string,
+)
+
+#: Boxes for ZERO/ONE fast opcodes.
+_ZERO_BOX = make_number(0)
+_ONE_BOX = make_number(1)
+
+
+class Interpreter:
+    """Executes bytecode against a VM (globals, ledger, monitor, recorder).
+
+    ``dispatch_cost`` parameterizes the baseline: 5 cycles for the
+    switch-threaded SpiderMonkey-like interpreter, 2 for the
+    call-threaded SquirrelFish-like baseline.
+    """
+
+    def __init__(self, vm, dispatch_cost: int = costs.DISPATCH):
+        self.vm = vm
+        self.dispatch_cost = dispatch_cost
+        self.frames: List[Frame] = []
+
+    # -- cost / profile helpers ---------------------------------------------
+
+    def _charge(self, cycles: int) -> None:
+        vm = self.vm
+        activity = Activity.RECORD if vm.recorder is not None else Activity.INTERPRET
+        vm.stats.ledger.charge(activity, cycles)
+
+    # -- entry points ----------------------------------------------------------
+
+    def run_toplevel(self, code: Code) -> Box:
+        """Run a compiled program; returns the completion value."""
+        frame = Frame(code)
+        return self.execute(frame)
+
+    def call_function(self, fn, this_box: Box, args: List[Box]) -> Box:
+        """Call a JSLite or native function from the host."""
+        if isinstance(fn, NativeFunction):
+            return fn.fn(self.vm, this_box, args)
+        if not isinstance(fn, JSFunction):
+            raise JSThrow(make_string("TypeError: not a function"))
+        frame = Frame(fn.code, this_box, args)
+        return self.execute(frame)
+
+    # -- throw handling -----------------------------------------------------------
+
+    def _unwind(self, frames: List[Frame], base_depth: int, value: Box) -> bool:
+        """Unwind ``frames`` (down to ``base_depth``) looking for a handler.
+
+        Returns True if a handler was found (the frame is positioned at
+        it with the exception pushed); otherwise frames are popped to
+        ``base_depth`` and the caller re-raises.
+        """
+        self._charge(costs.THROW_UNWIND)
+        while len(frames) > base_depth:
+            frame = frames[-1]
+            if frame.try_stack:
+                handler_pc, depth = frame.try_stack.pop()
+                del frame.stack[depth:]
+                frame.stack.append(value)
+                frame.pc = handler_pc
+                return True
+            frames.pop()
+            self._charge(costs.FRAME_TEARDOWN)
+        return False
+
+    # -- the dispatch loop -----------------------------------------------------
+
+    def execute(self, frame: Frame) -> Box:
+        """Run ``frame`` (and everything it calls) to completion."""
+        vm = self.vm
+        frames = self.frames
+        base_depth = len(frames)
+        frames.append(frame)
+
+        while len(frames) > base_depth:
+            frame = frames[-1]
+            code = frame.code
+            insns = code.insns
+            stack = frame.stack
+            try:
+                result = self._run_frame(frame, frames, base_depth)
+            except JSThrow as thrown:
+                if vm.recorder is not None:
+                    vm.monitor.abort_recording("exception-thrown")
+                if not self._unwind(frames, base_depth, thrown.value):
+                    raise
+                continue
+            if result is not _SWITCH_FRAME:
+                return result
+        raise VMInternalError("interpreter frame stack underflow")
+
+    def _run_frame(self, frame: Frame, frames: List[Frame], base_depth: int):
+        """Execute until the current frame changes or execution completes.
+
+        Returns ``_SWITCH_FRAME`` when the top frame changed (call /
+        return / unwinding), or the final completion/return Box.
+        """
+        vm = self.vm
+        stats = vm.stats
+        profile = stats.profile
+        code = frame.code
+        insns = code.insns
+        consts = code.consts
+        names = code.names
+        stack = frame.stack
+        local_vars = frame.locals
+        dispatch_cost = self.dispatch_cost
+
+        while True:
+            pc = frame.pc
+            opcode, arg = insns[pc]
+            frame.pc = pc + 1
+
+            recorder = vm.recorder
+            if recorder is not None:
+                profile.recorded += 1
+                stats.ledger.charge(Activity.RECORD, costs.RECORD_PER_BYTECODE)
+                try:
+                    wants_result = recorder.record_op(self, frame, pc, opcode, arg)
+                except TraceAbort as abort:
+                    vm.monitor.abort_recording(abort.reason)
+                    wants_result = False
+                    recorder = None
+            else:
+                profile.interpreted += 1
+                wants_result = False
+
+            self._charge(dispatch_cost)
+
+            # ---- constants and stack shuffling ----------------------------
+            if opcode == op.CONST:
+                stack.append(consts[arg])
+                self._charge(costs.STACK_OP)
+            elif opcode == op.GETLOCAL:
+                stack.append(local_vars[arg])
+                self._charge(costs.SLOT_ACCESS + costs.STACK_OP)
+            elif opcode == op.SETLOCAL:
+                local_vars[arg] = stack[-1]
+                self._charge(costs.SLOT_ACCESS)
+            elif opcode == op.ZERO:
+                stack.append(_ZERO_BOX)
+                self._charge(costs.STACK_OP)
+            elif opcode == op.ONE:
+                stack.append(_ONE_BOX)
+                self._charge(costs.STACK_OP)
+            elif opcode == op.UNDEF:
+                stack.append(UNDEFINED)
+                self._charge(costs.STACK_OP)
+            elif opcode == op.NULL:
+                stack.append(NULL)
+                self._charge(costs.STACK_OP)
+            elif opcode == op.TRUE:
+                stack.append(TRUE)
+                self._charge(costs.STACK_OP)
+            elif opcode == op.FALSE:
+                stack.append(FALSE)
+                self._charge(costs.STACK_OP)
+            elif opcode == op.POP:
+                stack.pop()
+                self._charge(costs.STACK_OP)
+            elif opcode == op.POPV:
+                frame.completion = stack.pop()
+                self._charge(costs.STACK_OP)
+            elif opcode == op.DUP:
+                stack.append(stack[-1])
+                self._charge(costs.STACK_OP)
+            elif opcode == op.SWAP:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+                self._charge(costs.STACK_OP)
+
+            # ---- globals ---------------------------------------------------
+            elif opcode == op.GETGLOBAL:
+                name = names[arg]
+                self._charge(costs.GLOBAL_LOOKUP + costs.STACK_OP)
+                try:
+                    stack.append(vm.globals[name])
+                except KeyError:
+                    raise JSThrow(
+                        make_string(f"ReferenceError: {name} is not defined")
+                    ) from None
+            elif opcode == op.SETGLOBAL:
+                vm.globals[names[arg]] = stack[-1]
+                self._charge(costs.GLOBAL_LOOKUP)
+
+            # ---- arithmetic / logic ----------------------------------------
+            elif opcode == op.ADD:
+                right = stack.pop()
+                left = stack.pop()
+                value, cycles = operations.add(left, right)
+                stack.append(value)
+                self._charge(cycles + 3 * costs.STACK_OP)
+            elif opcode == op.SUB:
+                right = stack.pop()
+                left = stack.pop()
+                value, cycles = operations.sub(left, right)
+                stack.append(value)
+                self._charge(cycles + 3 * costs.STACK_OP)
+            elif opcode == op.MUL:
+                right = stack.pop()
+                left = stack.pop()
+                value, cycles = operations.mul(left, right)
+                stack.append(value)
+                self._charge(cycles + 3 * costs.STACK_OP)
+            elif opcode == op.DIV:
+                right = stack.pop()
+                left = stack.pop()
+                value, cycles = operations.div(left, right)
+                stack.append(value)
+                self._charge(cycles + 3 * costs.STACK_OP)
+            elif opcode == op.MOD:
+                right = stack.pop()
+                left = stack.pop()
+                value, cycles = operations.mod(left, right)
+                stack.append(value)
+                self._charge(cycles + 3 * costs.STACK_OP)
+            elif opcode == op.NEG:
+                value, cycles = operations.neg(stack.pop())
+                stack.append(value)
+                self._charge(cycles + 2 * costs.STACK_OP)
+            elif opcode == op.TONUM:
+                operand = stack[-1]
+                if operand.tag not in (TAG_INT, TAG_DOUBLE):
+                    stack[-1] = make_number(conversions.to_number(operand))
+                    self._charge(costs.TAG_TEST + costs.D2I32 + costs.BOX)
+                else:
+                    self._charge(costs.TAG_TEST)
+            elif opcode == op.BITAND:
+                right = stack.pop()
+                left = stack.pop()
+                value, cycles = operations.bitand(left, right)
+                stack.append(value)
+                self._charge(cycles + 3 * costs.STACK_OP)
+            elif opcode == op.BITOR:
+                right = stack.pop()
+                left = stack.pop()
+                value, cycles = operations.bitor(left, right)
+                stack.append(value)
+                self._charge(cycles + 3 * costs.STACK_OP)
+            elif opcode == op.BITXOR:
+                right = stack.pop()
+                left = stack.pop()
+                value, cycles = operations.bitxor(left, right)
+                stack.append(value)
+                self._charge(cycles + 3 * costs.STACK_OP)
+            elif opcode == op.BITNOT:
+                value, cycles = operations.bitnot(stack.pop())
+                stack.append(value)
+                self._charge(cycles + 2 * costs.STACK_OP)
+            elif opcode == op.SHL:
+                right = stack.pop()
+                left = stack.pop()
+                value, cycles = operations.shl(left, right)
+                stack.append(value)
+                self._charge(cycles + 3 * costs.STACK_OP)
+            elif opcode == op.SHR:
+                right = stack.pop()
+                left = stack.pop()
+                value, cycles = operations.shr(left, right)
+                stack.append(value)
+                self._charge(cycles + 3 * costs.STACK_OP)
+            elif opcode == op.USHR:
+                right = stack.pop()
+                left = stack.pop()
+                value, cycles = operations.ushr(left, right)
+                stack.append(value)
+                self._charge(cycles + 3 * costs.STACK_OP)
+            elif opcode in (op.LT, op.LE, op.GT, op.GE):
+                right = stack.pop()
+                left = stack.pop()
+                relop = _RELOP_TEXT[opcode]
+                value, cycles = operations.compare(left, right, relop)
+                stack.append(value)
+                self._charge(cycles + 3 * costs.STACK_OP)
+            elif opcode in (op.EQ, op.NE, op.STRICTEQ, op.STRICTNE):
+                right = stack.pop()
+                left = stack.pop()
+                strict = opcode in (op.STRICTEQ, op.STRICTNE)
+                negate = opcode in (op.NE, op.STRICTNE)
+                value, cycles = operations.equals(left, right, strict, negate)
+                stack.append(value)
+                self._charge(cycles + 3 * costs.STACK_OP)
+            elif opcode == op.NOT:
+                value, cycles = operations.logical_not(stack.pop())
+                stack.append(value)
+                self._charge(cycles + 2 * costs.STACK_OP)
+            elif opcode == op.TYPEOF:
+                value, cycles = operations.typeof_op(stack.pop())
+                stack.append(value)
+                self._charge(cycles + 2 * costs.STACK_OP)
+
+            # ---- control flow -----------------------------------------------
+            elif opcode == op.JUMP:
+                if arg <= pc:
+                    self._check_preemption()
+                frame.pc = arg
+            elif opcode == op.IFFALSE:
+                condition = stack.pop()
+                self._charge(costs.STACK_OP + costs.TAG_TEST)
+                if not conversions.to_boolean(condition):
+                    if arg <= pc:
+                        self._check_preemption()
+                    frame.pc = arg
+            elif opcode == op.IFTRUE:
+                condition = stack.pop()
+                self._charge(costs.STACK_OP + costs.TAG_TEST)
+                if conversions.to_boolean(condition):
+                    if arg <= pc:
+                        self._check_preemption()
+                    frame.pc = arg
+            elif opcode == op.ANDJMP:
+                self._charge(costs.STACK_OP + costs.TAG_TEST)
+                if not conversions.to_boolean(stack[-1]):
+                    frame.pc = arg
+                else:
+                    stack.pop()
+            elif opcode == op.ORJMP:
+                self._charge(costs.STACK_OP + costs.TAG_TEST)
+                if conversions.to_boolean(stack[-1]):
+                    frame.pc = arg
+                else:
+                    stack.pop()
+            elif opcode == op.LOOPHEADER:
+                if vm.monitor is not None:
+                    vm.monitor.on_loop_header(self, frame, pc)
+                    if frames[-1] is not frame or frame.pc != pc + 1:
+                        # A trace ran (or frames changed); re-enter the
+                        # outer loop to refresh cached frame state.
+                        return _SWITCH_FRAME
+            elif opcode == op.NOP:
+                pass
+
+            # ---- property access (fat opcodes) --------------------------------
+            elif opcode == op.GETPROP:
+                obj_box = stack.pop()
+                stack.append(self._getprop(obj_box, names[arg]))
+                if wants_result:
+                    recorder.record_result(stack[-1])
+            elif opcode == op.SETPROP:
+                value = stack.pop()
+                obj_box = stack.pop()
+                self._setprop(obj_box, names[arg], value)
+                stack.append(value)
+            elif opcode == op.GETELEM:
+                index_box = stack.pop()
+                obj_box = stack.pop()
+                stack.append(self._getelem(obj_box, index_box))
+                if wants_result:
+                    recorder.record_result(stack[-1])
+            elif opcode == op.SETELEM:
+                value = stack.pop()
+                index_box = stack.pop()
+                obj_box = stack.pop()
+                self._setelem(obj_box, index_box, value)
+                stack.append(value)
+            elif opcode == op.ITERKEYS:
+                from repro.runtime.objects import enumerable_keys
+
+                obj_box = stack.pop()
+                keys = enumerable_keys(obj_box, vm.array_prototype)
+                stack.append(make_object(keys))
+                self._charge(
+                    costs.ALLOC
+                    + costs.PROPERTY_LOOKUP
+                    + costs.SLOT_ACCESS * max(keys.length, 1)
+                    + 2 * costs.STACK_OP
+                )
+            elif opcode == op.DELPROP:
+                obj_box = stack.pop()
+                if obj_box.tag != TAG_OBJECT:
+                    raise JSThrow(make_string("TypeError: delete on non-object"))
+                self._charge(costs.PROPERTY_LOOKUP + costs.SHAPE_TRANSITION)
+                stack.append(make_bool(obj_box.payload.delete_property(names[arg])))
+            elif opcode == op.INITPROP:
+                value = stack.pop()
+                obj_box = stack[-1]
+                obj_box.payload.set_property(names[arg], value)
+                self._charge(costs.SHAPE_TRANSITION + costs.SLOT_ACCESS)
+
+            # ---- allocation -----------------------------------------------------
+            elif opcode == op.NEWOBJ:
+                stack.append(make_object(JSObject()))
+                self._charge(costs.ALLOC + costs.STACK_OP)
+                if wants_result:
+                    recorder.record_result(stack[-1])
+            elif opcode == op.NEWARR:
+                arr = JSArray(proto=vm.array_prototype)
+                if arg:
+                    elements = stack[len(stack) - arg :]
+                    del stack[len(stack) - arg :]
+                    for index, element in enumerate(elements):
+                        arr.set_element(index, element)
+                stack.append(make_object(arr))
+                self._charge(costs.ALLOC + (arg + 1) * costs.STACK_OP)
+                if wants_result:
+                    recorder.record_result(stack[-1])
+
+            # ---- calls -----------------------------------------------------------
+            elif opcode == op.CALL:
+                args = stack[len(stack) - arg :]
+                del stack[len(stack) - arg :]
+                callee_box = stack.pop()
+                switched = self._do_call(
+                    frames, frame, callee_box, UNDEFINED, args, wants_result, recorder
+                )
+                if switched:
+                    return _SWITCH_FRAME
+            elif opcode == op.CALLMETHOD:
+                args = stack[len(stack) - arg :]
+                del stack[len(stack) - arg :]
+                callee_box = stack.pop()
+                this_box = stack.pop()
+                switched = self._do_call(
+                    frames, frame, callee_box, this_box, args, wants_result, recorder
+                )
+                if switched:
+                    return _SWITCH_FRAME
+            elif opcode == op.NEW:
+                args = stack[len(stack) - arg :]
+                del stack[len(stack) - arg :]
+                callee_box = stack.pop()
+                switched = self._do_new(
+                    frames, frame, callee_box, args, wants_result, recorder
+                )
+                if switched:
+                    return _SWITCH_FRAME
+            elif opcode == op.RETURN or opcode == op.RETUNDEF:
+                value = stack.pop() if opcode == op.RETURN else UNDEFINED
+                frames.pop()
+                self._charge(costs.FRAME_TEARDOWN)
+                if len(frames) == base_depth:
+                    return value
+                caller = frames[-1]
+                if caller.code.insns[caller.pc - 1][0] == op.NEW:
+                    # `new F()`: a non-object return is replaced by `this`.
+                    if value.tag != TAG_OBJECT:
+                        value = frame.this_box
+                caller.stack.append(value)
+                return _SWITCH_FRAME
+
+            # ---- exceptions --------------------------------------------------------
+            elif opcode == op.THROW:
+                raise JSThrow(stack.pop())
+            elif opcode == op.TRYPUSH:
+                frame.try_stack.append((arg, len(stack)))
+                self._charge(costs.STACK_OP)
+            elif opcode == op.TRYPOP:
+                frame.try_stack.pop()
+                self._charge(costs.STACK_OP)
+
+            elif opcode == op.THIS:
+                stack.append(frame.this_box)
+                self._charge(costs.STACK_OP)
+            elif opcode == op.END:
+                frames.pop()
+                return frame.completion
+            else:
+                raise VMInternalError(f"unhandled opcode {op.opcode_name(opcode)}")
+
+    # -- preemption (Section 6.4) ---------------------------------------------
+
+    def _check_preemption(self) -> None:
+        self._charge(costs.PREEMPT_CHECK)
+        vm = self.vm
+        if vm.preempt_flag:
+            vm.service_preemption()
+
+    # -- property access helpers -----------------------------------------------
+
+    def _getprop(self, obj_box: Box, name: str) -> Box:
+        tag = obj_box.tag
+        if tag == TAG_STRING:
+            self._charge(costs.TAG_TEST + costs.STRING_OP + costs.STACK_OP)
+            if name == "length":
+                return make_number(len(obj_box.payload))
+            method = STRING_METHODS.get(name)
+            if method is not None:
+                return make_object(method)
+            return UNDEFINED
+        if tag != TAG_OBJECT:
+            raise JSThrow(
+                make_string(f"TypeError: cannot read property '{name}' of non-object")
+            )
+        obj = obj_box.payload
+        if isinstance(obj, JSArray) and name == "length":
+            self._charge(costs.TAG_TEST + costs.SLOT_ACCESS + costs.STACK_OP)
+            return make_number(obj.length)
+        if isinstance(obj, JSFunction) and name == "prototype":
+            self._charge(costs.TAG_TEST + costs.SLOT_ACCESS + costs.STACK_OP)
+            return make_object(obj.ensure_prototype())
+        depth = obj.chain_depth_of(name)
+        self._charge(
+            costs.TAG_TEST
+            + depth * costs.PROPERTY_LOOKUP
+            + costs.SLOT_ACCESS
+            + costs.STACK_OP
+        )
+        found = obj.lookup_chain(name)
+        if found is None:
+            return UNDEFINED
+        return found[1]
+
+    def _setprop(self, obj_box: Box, name: str, value: Box) -> None:
+        if obj_box.tag != TAG_OBJECT:
+            raise JSThrow(
+                make_string(f"TypeError: cannot set property '{name}' of non-object")
+            )
+        obj = obj_box.payload
+        if isinstance(obj, JSArray) and name == "length":
+            self._charge(costs.TAG_TEST + costs.SLOT_ACCESS)
+            new_length = int(conversions.to_number(value))
+            if new_length < len(obj.elements):
+                del obj.elements[new_length:]
+            obj.length = max(new_length, 0)
+            return
+        is_new = obj.get_own(name) is None
+        self._charge(
+            costs.TAG_TEST
+            + costs.PROPERTY_LOOKUP
+            + costs.SLOT_ACCESS
+            + (costs.SHAPE_TRANSITION if is_new else 0)
+        )
+        obj.set_property(name, value)
+
+    @staticmethod
+    def _index_of(index_box: Box):
+        """Integer index of a numeric box, or None."""
+        if index_box.tag == TAG_INT:
+            return index_box.payload
+        if index_box.tag == TAG_DOUBLE and index_box.payload.is_integer():
+            return int(index_box.payload)
+        return None
+
+    def _getelem(self, obj_box: Box, index_box: Box) -> Box:
+        if obj_box.tag == TAG_OBJECT:
+            obj = obj_box.payload
+            index = self._index_of(index_box)
+            if isinstance(obj, JSArray) and index is not None:
+                self._charge(costs.TAG_TEST * 2 + costs.DENSE_ELEM + costs.STACK_OP)
+                if index_box.tag == TAG_DOUBLE:
+                    self._charge(costs.D2I)
+                element = obj.get_element(index)
+                return element if element is not None else UNDEFINED
+            # Generic path: number -> string key conversion (paper, fn. 1).
+            key = conversions.to_property_key(index_box)
+            self._charge(
+                costs.TAG_TEST * 2
+                + costs.STRING_OP * 2
+                + costs.PROPERTY_LOOKUP
+                + costs.STACK_OP
+            )
+            return self._getprop(obj_box, key)
+        if obj_box.tag == TAG_STRING:
+            index = self._index_of(index_box)
+            self._charge(costs.TAG_TEST * 2 + costs.STRING_OP + costs.STACK_OP)
+            if index is not None and 0 <= index < len(obj_box.payload):
+                return make_string(obj_box.payload[index])
+            return UNDEFINED
+        raise JSThrow(make_string("TypeError: cannot index non-object"))
+
+    def _setelem(self, obj_box: Box, index_box: Box, value: Box) -> None:
+        if obj_box.tag != TAG_OBJECT:
+            raise JSThrow(make_string("TypeError: cannot index non-object"))
+        obj = obj_box.payload
+        index = self._index_of(index_box)
+        if isinstance(obj, JSArray) and index is not None:
+            self._charge(costs.TAG_TEST * 2 + costs.DENSE_ELEM)
+            if index_box.tag == TAG_DOUBLE:
+                self._charge(costs.D2I)
+            if obj.set_element(index, value):
+                return
+        key = conversions.to_property_key(index_box)
+        self._charge(costs.TAG_TEST * 2 + costs.STRING_OP * 2)
+        self._setprop(obj_box, key, value)
+
+    # -- call helpers ---------------------------------------------------------------
+
+    def _do_call(
+        self,
+        frames: List[Frame],
+        frame: Frame,
+        callee_box: Box,
+        this_box: Box,
+        args: List[Box],
+        wants_result: bool,
+        recorder,
+    ) -> bool:
+        """Returns True if a new interpreter frame was pushed."""
+        if callee_box.tag != TAG_OBJECT or not callee_box.payload.is_callable:
+            raise JSThrow(make_string("TypeError: not a function"))
+        callee = callee_box.payload
+        if isinstance(callee, NativeFunction):
+            self._charge(
+                costs.NATIVE_CALL + costs.FFI_BOX_PER_ARG * len(args) + costs.STACK_OP
+            )
+            result = callee.fn(self.vm, this_box, args)
+            frame.stack.append(result)
+            if wants_result:
+                recorder.record_result(result)
+            return False
+        self._charge(costs.FRAME_SETUP)
+        new_frame = Frame(callee.code, this_box, args)
+        frames.append(new_frame)
+        return True
+
+    def _do_new(
+        self,
+        frames: List[Frame],
+        frame: Frame,
+        callee_box: Box,
+        args: List[Box],
+        wants_result: bool,
+        recorder,
+    ) -> bool:
+        if callee_box.tag != TAG_OBJECT or not callee_box.payload.is_callable:
+            raise JSThrow(make_string("TypeError: not a constructor"))
+        callee = callee_box.payload
+        self._charge(costs.ALLOC)
+        if isinstance(callee, NativeFunction):
+            self._charge(costs.NATIVE_CALL + costs.FFI_BOX_PER_ARG * len(args))
+            result = callee.fn(self.vm, UNDEFINED, args)
+            if result.tag != TAG_OBJECT:
+                result = make_object(JSObject())
+            frame.stack.append(result)
+            if wants_result:
+                recorder.record_result(result)
+            return False
+        this_obj = new_object_with_proto(callee)
+        self._charge(costs.FRAME_SETUP + costs.SHAPE_TRANSITION)
+        new_frame = Frame(callee.code, make_object(this_obj), args)
+        frames.append(new_frame)
+        return True
+
+
+_RELOP_TEXT = {op.LT: "<", op.LE: "<=", op.GT: ">", op.GE: ">="}
+
+#: Sentinel: the current frame changed; refresh cached state.
+_SWITCH_FRAME = object()

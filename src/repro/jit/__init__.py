@@ -1,0 +1,14 @@
+"""The nanojit substrate: LIR filter pipelines, register allocation,
+code generation, and the simulated native machine.
+
+"The trace compilation subsystem, NANOJIT, is separate from the VM and
+can be used for other applications" (paper Section 5) — likewise, this
+package only knows about LIR, side exits, and activation records; it
+has no dependency on the interpreter or the recorder.
+
+The paper emits x86; a pure-Python reproduction cannot execute real
+machine code, so :mod:`repro.jit.native` defines a small load/store
+register ISA (8 integer/pointer + 8 floating-point registers) executed
+by a Python machine with a deterministic cycle cost model.  Most LIR
+instructions compile to a single native instruction, matching Figure 4.
+"""

@@ -1,0 +1,755 @@
+"""The simulated native ISA and its machine.
+
+This stands in for the x86 code nanojit emits in the paper (the
+substitution is documented in DESIGN.md).  The ISA is a conventional
+load/store register machine:
+
+* 8 integer/pointer registers (``r0``-``r7``, indexes 0-7) holding ints,
+  booleans, object/string references, and boxed values;
+* 8 floating-point registers (``f0``-``f7``, indexes 8-15);
+* loads/stores against the **trace activation record** (a flat slot
+  array) and a VM-wide **global area**;
+* fused compare-and-exit guards, overflow guards, tagged-box guards;
+* calls to runtime helpers and FFI natives; and
+* nested-tree calls (``calltree``), which run another tree's machine.
+
+Every instruction charges simulated cycles (:mod:`repro.costs`), which
+is how "native time" is measured for the Figure 10/12 reproductions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro import costs
+from repro.costs import Activity
+from repro.core import exits as exitmod
+from repro.core.exits import ExitEvent, SideExit
+from repro.core.typemap import TraceType, box_for_type, type_of_box, unbox_for_type
+from repro.errors import JSThrow, NativeMachineError
+from repro.runtime.conversions import to_int32, to_uint32
+from repro.runtime.operations import js_mod
+from repro.runtime.values import (
+    Box,
+    INT_MAX,
+    INT_MIN,
+    TAG_BOOLEAN,
+    TAG_DOUBLE,
+    TAG_INT,
+    TAG_NULL,
+    TAG_OBJECT,
+    TAG_STRING,
+    TAG_UNDEFINED,
+    UNDEFINED,
+)
+
+N_INT_REGS = 8
+N_FLOAT_REGS = 8
+N_REGS = N_INT_REGS + N_FLOAT_REGS
+
+
+class NativeInsn:
+    """One simulated machine instruction.
+
+    ``dst``/``a``/``b``/``c`` are register indexes (or None); ``imm`` is
+    an immediate (constant, AR slot, object-slot index, or TraceType);
+    ``exit`` is a :class:`SideExit` for guards; ``aux`` carries call
+    specs / calltree sites; ``srcs`` is the argument register list for
+    calls.
+    """
+
+    __slots__ = ("op", "dst", "a", "b", "c", "imm", "exit", "aux", "srcs")
+
+    def __init__(self, op, dst=None, a=None, b=None, c=None, imm=None, exit=None,
+                 aux=None, srcs=None):
+        self.op = op
+        self.dst = dst
+        self.a = a
+        self.b = b
+        self.c = c
+        self.imm = imm
+        self.exit = exit
+        self.aux = aux
+        self.srcs = srcs
+
+    def __repr__(self) -> str:
+        parts = [self.op]
+        if self.dst is not None:
+            parts.append(f"{_reg_name(self.dst)} <-")
+        for reg in (self.a, self.b, self.c):
+            if reg is not None:
+                parts.append(_reg_name(reg))
+        if self.srcs:
+            parts.append("(" + ", ".join(_reg_name(r) for r in self.srcs) + ")")
+        if self.imm is not None:
+            text = repr(self.imm)
+            if len(text) > 32:
+                text = text[:29] + "..."
+            parts.append(f"#{text}")
+        if self.exit is not None:
+            parts.append(f"-> exit{self.exit.exit_id}")
+        return " ".join(parts)
+
+
+def _reg_name(index: int) -> str:
+    if index < N_INT_REGS:
+        return f"r{index}"
+    return f"f{index - N_INT_REGS}"
+
+
+@dataclass
+class CallSpec:
+    """How a ``call`` instruction invokes its target.
+
+    kind:
+    * ``helper`` — a runtime helper ``fn(vm, *raw_args)``;
+    * ``typed`` — a typed-FFI native ``raw_fn(*raw_args)`` (Section 6.5
+      "new FFI": no boxing);
+    * ``boxed`` — a legacy-FFI native ``fn(vm, this_box, arg_boxes)``;
+      the machine boxes arguments (cost per argument) and the result
+      stays boxed pending a tag guard.
+    """
+
+    kind: str
+    name: str
+    fn: object
+    arg_types: tuple = ()
+    this_type: Optional[TraceType] = None
+    result_type: str = "v"
+    cost: int = costs.NATIVE_CALL
+    pure: bool = False
+    #: Section 6.5: natives that read/write interpreter state get the
+    #: dirty globals flushed before the call (the trace is forced to
+    #: exit right after it returns).
+    accesses_state: bool = False
+
+
+class GlobalArea:
+    """Per-trace-invocation unboxed global variables, shared by nested
+    trees (all trees address globals through the VM-wide slot registry
+    kept by the monitor)."""
+
+    __slots__ = ("values", "types", "loaded", "dirty")
+
+    def __init__(self):
+        self.values = {}
+        self.types = {}
+        self.loaded = set()
+        self.dirty = set()
+
+    def load(self, index: int, raw, trace_type: TraceType) -> None:
+        self.values[index] = raw
+        self.types[index] = trace_type
+        self.loaded.add(index)
+
+    def read(self, index: int):
+        return self.values[index]
+
+    def write(self, index: int, raw, trace_type: Optional[TraceType] = None) -> None:
+        self.values[index] = raw
+        if trace_type is not None:
+            self.types[index] = trace_type
+        self.dirty.add(index)
+
+
+class ActivationRecord:
+    """The trace activation record: a flat array of unboxed slots plus a
+    reference to the shared global area.
+
+    Slot encoding (see codegen): slot >= 0 addresses ``slots``; slot
+    ``-(g+1)`` addresses global-area index ``g``.
+    """
+
+    __slots__ = ("slots", "globals")
+
+    def __init__(self, size: int, global_area: GlobalArea):
+        self.slots = [None] * size
+        self.globals = global_area
+
+    def read(self, slot: int):
+        if slot >= 0:
+            return self.slots[slot]
+        return self.globals.read(-slot - 1)
+
+    def write(self, slot: int, raw) -> None:
+        if slot >= 0:
+            self.slots[slot] = raw
+        else:
+            self.globals.write(-slot - 1, raw)
+
+
+def _compare(op: str, left, right) -> bool:
+    """Semantics of a fused comparison (mirrors the standalone ops)."""
+    if op in ("eqd", "ned", "ltd", "led", "gtd", "ged"):
+        if math.isnan(left) or math.isnan(right):
+            return op == "ned"
+    if op in ("eqi", "eqd", "eqs"):
+        return left == right
+    if op in ("nei", "ned"):
+        return left != right
+    if op == "eqp":
+        return left is right
+    if op in ("lti", "ltd", "lts"):
+        return left < right
+    if op in ("lei", "led", "les"):
+        return left <= right
+    if op in ("gti", "gtd", "gts"):
+        return left > right
+    return left >= right  # gei / ged / ges
+
+
+def _tag_matches(box, trace_type: TraceType) -> bool:
+    """Does a boxed value satisfy a trace-type guard?
+
+    ``box`` may be ``None`` (an array hole), which reads as undefined.
+    """
+    if box is None:
+        return trace_type is TraceType.UNDEFINED
+    tag = box.tag
+    if trace_type is TraceType.INT:
+        return tag == TAG_INT
+    if trace_type is TraceType.DOUBLE:
+        return tag == TAG_DOUBLE
+    if trace_type is TraceType.OBJECT:
+        return tag == TAG_OBJECT
+    if trace_type is TraceType.STRING:
+        return tag == TAG_STRING
+    if trace_type is TraceType.BOOLEAN:
+        return tag == TAG_BOOLEAN
+    if trace_type is TraceType.NULL:
+        return tag == TAG_NULL
+    return tag == TAG_UNDEFINED
+
+
+#: Safety valve: a single trace invocation may not exceed this many
+#: simulated native instructions (catches runaway loops in the VM itself,
+#: not in user programs — user infinite loops still make progress through
+#: preemption exits).
+MAX_INSNS_PER_RUN = 200_000_000
+
+
+class NativeMachine:
+    """Executes compiled fragments of one trace tree."""
+
+    def __init__(self, vm, tree, ar: ActivationRecord):
+        self.vm = vm
+        self.tree = tree
+        self.ar = ar
+        self.regs: List[object] = [None] * N_REGS
+        self.last_inner_event: Optional[ExitEvent] = None
+        self.ovf = False
+
+    # -- global-area management (shared with the monitor) ---------------------
+
+    def ensure_globals(self, tree) -> bool:
+        """Load ``tree``'s global imports into the shared area.
+
+        Returns False on a type mismatch (the caller turns that into a
+        guard failure rather than entering the tree).
+        """
+        area = self.ar.globals
+        vm = self.vm
+        for name, gslot, trace_type in tree.global_imports:
+            # Skip slots already present — whether imported earlier or
+            # *written* by an enclosing trace (a written slot is dirty
+            # but authoritative; reloading from vm.globals would undo
+            # buffered global writes).
+            if gslot in area.values:
+                continue
+            box = vm.globals.get(name, UNDEFINED)
+            actual = type_of_box(box)
+            if actual is not trace_type and not (
+                trace_type is TraceType.DOUBLE and actual is TraceType.INT
+            ):
+                return False
+            area.load(gslot, unbox_for_type(box, trace_type), trace_type)
+            vm.stats.ledger.charge(Activity.NATIVE, costs.AR_IMPORT_PER_SLOT)
+        return True
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, fragment) -> ExitEvent:
+        """Run ``fragment`` (following stitches and loop edges) to an exit."""
+        vm = self.vm
+        stats = vm.stats
+        ledger = stats.ledger
+        profile = stats.profile
+        regs = self.regs
+        ar = self.ar
+        insns = fragment.native
+        pc = 0
+        executed = 0
+        cycles = 0
+
+        while True:
+            executed += 1
+            if executed > MAX_INSNS_PER_RUN:
+                raise NativeMachineError("native instruction budget exceeded")
+            insn = insns[pc]
+            pc += 1
+            op = insn.op
+
+            # ---- moves and AR access ------------------------------------
+            if op == "ldar":
+                regs[insn.dst] = ar.read(insn.imm)
+                cycles += costs.NATIVE_LOAD
+            elif op == "star":
+                slot = insn.imm
+                if slot >= 0:
+                    ar.slots[slot] = regs[insn.a]
+                else:
+                    ar.globals.write(-slot - 1, regs[insn.a], insn.aux)
+                cycles += costs.NATIVE_STORE
+            elif op == "movi":
+                regs[insn.dst] = insn.imm
+                cycles += costs.NATIVE_MOV
+            elif op == "mov":
+                regs[insn.dst] = regs[insn.a]
+                cycles += costs.NATIVE_MOV
+
+            # ---- integer ALU ----------------------------------------------
+            elif op == "addi":
+                value = regs[insn.a] + regs[insn.b]
+                self.ovf = not (INT_MIN <= value <= INT_MAX)
+                regs[insn.dst] = value
+                cycles += costs.NATIVE_ALU
+            elif op == "subi":
+                value = regs[insn.a] - regs[insn.b]
+                self.ovf = not (INT_MIN <= value <= INT_MAX)
+                regs[insn.dst] = value
+                cycles += costs.NATIVE_ALU
+            elif op == "muli":
+                value = regs[insn.a] * regs[insn.b]
+                self.ovf = not (INT_MIN <= value <= INT_MAX)
+                regs[insn.dst] = value
+                cycles += costs.NATIVE_ALU
+            elif op == "andi":
+                regs[insn.dst] = to_int32(regs[insn.a]) & to_int32(regs[insn.b])
+                cycles += costs.NATIVE_ALU
+            elif op == "ori":
+                regs[insn.dst] = to_int32(regs[insn.a]) | to_int32(regs[insn.b])
+                cycles += costs.NATIVE_ALU
+            elif op == "xori":
+                regs[insn.dst] = to_int32(regs[insn.a]) ^ to_int32(regs[insn.b])
+                cycles += costs.NATIVE_ALU
+            elif op == "noti":
+                regs[insn.dst] = to_int32(~to_int32(regs[insn.a]))
+                cycles += costs.NATIVE_ALU
+            elif op == "negi":
+                regs[insn.dst] = -regs[insn.a]
+                cycles += costs.NATIVE_ALU
+            elif op == "shli":
+                regs[insn.dst] = to_int32(to_int32(regs[insn.a]) << (regs[insn.b] & 31))
+                cycles += costs.NATIVE_ALU
+            elif op == "shri":
+                regs[insn.dst] = to_int32(regs[insn.a]) >> (regs[insn.b] & 31)
+                cycles += costs.NATIVE_ALU
+            elif op == "ushri":
+                regs[insn.dst] = to_uint32(regs[insn.a]) >> (regs[insn.b] & 31)
+                cycles += costs.NATIVE_ALU
+
+            # ---- floating point ---------------------------------------------
+            elif op == "addd":
+                regs[insn.dst] = regs[insn.a] + regs[insn.b]
+                cycles += costs.NATIVE_FALU
+            elif op == "subd":
+                regs[insn.dst] = regs[insn.a] - regs[insn.b]
+                cycles += costs.NATIVE_FALU
+            elif op == "muld":
+                regs[insn.dst] = regs[insn.a] * regs[insn.b]
+                cycles += costs.NATIVE_FALU
+            elif op == "divd":
+                denominator = regs[insn.b]
+                numerator = regs[insn.a]
+                if denominator == 0.0:
+                    if numerator == 0.0 or math.isnan(numerator):
+                        regs[insn.dst] = math.nan
+                    else:
+                        sign = math.copysign(1.0, numerator) * math.copysign(
+                            1.0, denominator
+                        )
+                        regs[insn.dst] = math.inf if sign > 0 else -math.inf
+                else:
+                    regs[insn.dst] = numerator / denominator
+                cycles += costs.NATIVE_FALU * 2
+            elif op == "modd":
+                regs[insn.dst] = float(js_mod(regs[insn.a], regs[insn.b]))
+                cycles += costs.NATIVE_FALU * 3
+            elif op == "negd":
+                regs[insn.dst] = -float(regs[insn.a])
+                cycles += costs.NATIVE_FALU
+
+            # ---- conversions ---------------------------------------------------
+            elif op == "i2d":
+                regs[insn.dst] = float(regs[insn.a])
+                cycles += costs.NATIVE_I2D
+            elif op == "d2i":
+                value = regs[insn.a]
+                cycles += costs.NATIVE_D2I
+                if (
+                    isinstance(value, float)
+                    and value.is_integer()
+                    and INT_MIN <= value <= INT_MAX
+                ):
+                    regs[insn.dst] = int(value)
+                else:
+                    event = self._exit_event(insn.exit)
+                    result = self._finish_exit(event, fragment, cycles, profile)
+                    if result is not None:
+                        return result
+                    fragment, insns, pc, cycles = self._stitch(insn.exit)
+            elif op == "d2i32":
+                regs[insn.dst] = to_int32(regs[insn.a])
+                cycles += costs.NATIVE_D2I32
+            elif op == "tobooli":
+                regs[insn.dst] = regs[insn.a] != 0
+                cycles += costs.NATIVE_ALU
+            elif op == "toboold":
+                value = regs[insn.a]
+                regs[insn.dst] = value != 0.0 and not math.isnan(value)
+                cycles += costs.NATIVE_FALU
+            elif op == "tobools":
+                regs[insn.dst] = len(regs[insn.a]) > 0
+                cycles += costs.NATIVE_ALU
+            elif op == "notb":
+                regs[insn.dst] = not regs[insn.a]
+                cycles += costs.NATIVE_ALU
+
+            # ---- comparisons ------------------------------------------------------
+            elif op == "eqi":
+                regs[insn.dst] = regs[insn.a] == regs[insn.b]
+                cycles += costs.NATIVE_ALU
+            elif op == "nei":
+                regs[insn.dst] = regs[insn.a] != regs[insn.b]
+                cycles += costs.NATIVE_ALU
+            elif op == "lti":
+                regs[insn.dst] = regs[insn.a] < regs[insn.b]
+                cycles += costs.NATIVE_ALU
+            elif op == "lei":
+                regs[insn.dst] = regs[insn.a] <= regs[insn.b]
+                cycles += costs.NATIVE_ALU
+            elif op == "gti":
+                regs[insn.dst] = regs[insn.a] > regs[insn.b]
+                cycles += costs.NATIVE_ALU
+            elif op == "gei":
+                regs[insn.dst] = regs[insn.a] >= regs[insn.b]
+                cycles += costs.NATIVE_ALU
+            elif op in ("eqd", "ned", "ltd", "led", "gtd", "ged"):
+                left = regs[insn.a]
+                right = regs[insn.b]
+                if math.isnan(left) or math.isnan(right):
+                    regs[insn.dst] = op == "ned"
+                elif op == "eqd":
+                    regs[insn.dst] = left == right
+                elif op == "ned":
+                    regs[insn.dst] = left != right
+                elif op == "ltd":
+                    regs[insn.dst] = left < right
+                elif op == "led":
+                    regs[insn.dst] = left <= right
+                elif op == "gtd":
+                    regs[insn.dst] = left > right
+                else:
+                    regs[insn.dst] = left >= right
+                cycles += costs.NATIVE_FALU
+            elif op == "eqp":
+                regs[insn.dst] = regs[insn.a] is regs[insn.b]
+                cycles += costs.NATIVE_ALU
+            elif op == "eqs":
+                regs[insn.dst] = regs[insn.a] == regs[insn.b]
+                cycles += costs.NATIVE_ALU + costs.STRING_OP
+            elif op in ("lts", "les", "gts", "ges"):
+                left = regs[insn.a]
+                right = regs[insn.b]
+                if op == "lts":
+                    regs[insn.dst] = left < right
+                elif op == "les":
+                    regs[insn.dst] = left <= right
+                elif op == "gts":
+                    regs[insn.dst] = left > right
+                else:
+                    regs[insn.dst] = left >= right
+                cycles += costs.NATIVE_ALU + costs.STRING_OP
+
+            # ---- object / array primitives ------------------------------------
+            elif op == "ldshape":
+                regs[insn.dst] = regs[insn.a].shape_id
+                cycles += costs.NATIVE_LOAD
+            elif op == "ldproto":
+                regs[insn.dst] = regs[insn.a].proto
+                cycles += costs.NATIVE_LOAD
+            elif op == "ldslot":
+                regs[insn.dst] = regs[insn.a].slots[insn.imm]
+                cycles += costs.NATIVE_LOAD
+            elif op == "stslot":
+                regs[insn.a].slots[insn.imm] = regs[insn.b]
+                cycles += costs.NATIVE_STORE
+            elif op == "arraylen":
+                regs[insn.dst] = regs[insn.a].length
+                cycles += costs.NATIVE_LOAD
+            elif op == "denselen":
+                regs[insn.dst] = len(regs[insn.a].elements)
+                cycles += costs.NATIVE_LOAD
+            elif op == "ldelem":
+                regs[insn.dst] = regs[insn.a].elements[regs[insn.b]]
+                cycles += costs.NATIVE_LOAD
+            elif op == "stelem":
+                arr = regs[insn.a]
+                index = regs[insn.b]
+                arr.elements[index] = regs[insn.c]
+                if index >= arr.length:
+                    arr.length = index + 1
+                cycles += costs.NATIVE_STORE
+            elif op == "strlen":
+                regs[insn.dst] = len(regs[insn.a])
+                cycles += costs.NATIVE_LOAD
+
+            # ---- boxing ---------------------------------------------------------
+            elif op == "boxv":
+                regs[insn.dst] = box_for_type(regs[insn.a], insn.imm)
+                cycles += costs.BOX
+            elif op == "unbox":
+                box = regs[insn.a]
+                if box is None or box.tag in (TAG_NULL, TAG_UNDEFINED):
+                    regs[insn.dst] = None
+                else:
+                    regs[insn.dst] = box.payload
+                cycles += costs.NATIVE_ALU
+            elif op == "gtag":
+                box = regs[insn.a]
+                cycles += costs.NATIVE_GUARD
+                if not _tag_matches(box, insn.imm):
+                    event = self._exit_event(insn.exit)
+                    event.boxed_result = box if box is not None else UNDEFINED
+                    result = self._finish_exit(event, fragment, cycles, profile)
+                    if result is not None:
+                        return result
+                    fragment, insns, pc, cycles = self._stitch(insn.exit)
+
+            # ---- guards -----------------------------------------------------------
+            elif op == "gcmp":
+                # Fused compare-and-exit (Figure 4's cmp+jne): one
+                # instruction, one guard cost.
+                cmp_op, exit_if_true = insn.imm
+                cycles += costs.NATIVE_GUARD
+                condition = _compare(cmp_op, regs[insn.a], regs[insn.b])
+                if condition == exit_if_true:
+                    event = self._exit_event(insn.exit)
+                    result = self._finish_exit(event, fragment, cycles, profile)
+                    if result is not None:
+                        return result
+                    fragment, insns, pc, cycles = self._stitch(insn.exit)
+            elif op == "xt" or op == "xf":
+                cycles += costs.NATIVE_GUARD
+                condition = bool(regs[insn.a])
+                if condition == (op == "xt"):
+                    event = self._exit_event(insn.exit)
+                    if insn.b is not None:
+                        event.boxed_result = regs[insn.b]
+                    if insn.exit.kind == exitmod.INNER:
+                        event.inner = self.last_inner_event
+                        if event.inner is not None:
+                            event.exception = event.inner.exception
+                    result = self._finish_exit(event, fragment, cycles, profile)
+                    if result is not None:
+                        return result
+                    fragment, insns, pc, cycles = self._stitch(insn.exit)
+            elif op == "govf":
+                cycles += costs.NATIVE_GUARD
+                if self.ovf:
+                    event = self._exit_event(insn.exit)
+                    result = self._finish_exit(event, fragment, cycles, profile)
+                    if result is not None:
+                        return result
+                    fragment, insns, pc, cycles = self._stitch(insn.exit)
+            elif op == "gi31":
+                cycles += costs.NATIVE_GUARD
+                value = regs[insn.a]
+                if not (INT_MIN <= value <= INT_MAX):
+                    event = self._exit_event(insn.exit)
+                    result = self._finish_exit(event, fragment, cycles, profile)
+                    if result is not None:
+                        return result
+                    fragment, insns, pc, cycles = self._stitch(insn.exit)
+            elif op == "gni31":
+                cycles += costs.NATIVE_GUARD
+                value = regs[insn.a]
+                if INT_MIN <= value <= INT_MAX:
+                    event = self._exit_event(insn.exit)
+                    result = self._finish_exit(event, fragment, cycles, profile)
+                    if result is not None:
+                        return result
+                    fragment, insns, pc, cycles = self._stitch(insn.exit)
+            elif op == "gclass":
+                cycles += costs.NATIVE_GUARD
+                if not isinstance(regs[insn.a], insn.imm):
+                    event = self._exit_event(insn.exit)
+                    result = self._finish_exit(event, fragment, cycles, profile)
+                    if result is not None:
+                        return result
+                    fragment, insns, pc, cycles = self._stitch(insn.exit)
+            elif op == "x":
+                cycles += costs.NATIVE_JUMP
+                event = self._exit_event(insn.exit)
+                if insn.b is not None:
+                    event.boxed_result = regs[insn.b]
+                result = self._finish_exit(event, fragment, cycles, profile)
+                if result is not None:
+                    return result
+                fragment, insns, pc, cycles = self._stitch(insn.exit)
+
+            # ---- VM flags -----------------------------------------------------------
+            elif op == "ldreentry":
+                regs[insn.dst] = self.vm.trace_reentered
+                cycles += costs.NATIVE_LOAD
+            elif op == "ldpreempt":
+                regs[insn.dst] = self.vm.preempt_flag
+                cycles += costs.NATIVE_LOAD
+
+            # ---- calls -----------------------------------------------------------------
+            elif op == "call":
+                spec = insn.aux
+                args = [regs[r] for r in (insn.srcs or ())]
+                cycles += spec.cost
+                if spec.accesses_state:
+                    cycles += self._flush_globals()
+                try:
+                    if spec.kind == "helper":
+                        regs_value = spec.fn(self.vm, *args)
+                    elif spec.kind == "typed":
+                        regs_value = spec.fn(*args)
+                    else:  # boxed legacy FFI
+                        cycles += costs.FFI_BOX_PER_ARG * len(args)
+                        arg_boxes = [
+                            box_for_type(raw, trace_type)
+                            for raw, trace_type in zip(args, spec.arg_types)
+                        ]
+                        if spec.this_type is not None:
+                            this_box = arg_boxes.pop(0)
+                        else:
+                            this_box = UNDEFINED
+                        regs_value = spec.fn(self.vm, this_box, arg_boxes)
+                except JSThrow as thrown:
+                    event = self._exit_event(insn.exit)
+                    event.exception = thrown
+                    result = self._finish_exit(event, fragment, cycles, profile)
+                    if result is not None:
+                        return result
+                    raise NativeMachineError(
+                        "exception exit must not be stitched"
+                    ) from thrown
+                if insn.dst is not None:
+                    regs[insn.dst] = regs_value
+            elif op == "calltree":
+                site = insn.aux
+                cycles += costs.CALLTREE_CALL
+                regs[insn.dst] = self._run_inner_tree(site, profile)
+            elif op == "loopjmp":
+                cycles += costs.NATIVE_JUMP
+                profile.native += fragment.bytecount
+                self.tree.iterations += 1
+                stats.tracing.loop_iterations_native += 1
+                pc = 0
+            elif op == "jtree":
+                cycles += costs.NATIVE_JUMP
+                profile.native += fragment.bytecount
+                stats.tracing.loop_iterations_native += 1
+                fragment = self.tree.fragment
+                insns = fragment.native
+                pc = 0
+            else:
+                raise NativeMachineError(f"unhandled native op {op!r}")
+
+            # Flush cycles to the ledger in batches to keep the loop lean.
+            if cycles >= 4096:
+                ledger.charge(Activity.NATIVE, cycles)
+                cycles = 0
+
+    # -- exit plumbing -----------------------------------------------------------
+
+    def _flush_globals(self) -> int:
+        """Write dirty globals back to ``vm.globals`` (state-access natives
+        and exit restoration both use this).  Returns cycles spent."""
+        area = self.ar.globals
+        if not area.dirty:
+            return 0
+        vm = self.vm
+        names = vm.monitor.global_names
+        cycles = 0
+        for index in area.dirty:
+            vm.globals[names[index]] = box_for_type(
+                area.values[index], area.types[index]
+            )
+            cycles += costs.AR_EXPORT_PER_SLOT
+        area.dirty.clear()
+        return cycles
+
+    def _exit_event(self, exit: SideExit) -> ExitEvent:
+        return ExitEvent(exit=exit, ar=self.ar)
+
+    def _finish_exit(self, event, fragment, cycles, profile):
+        """Account for an exit; return the event unless it is stitched."""
+        exit = event.exit
+        profile.native += exit.bytecode_progress
+        stats = self.vm.stats
+        stats.ledger.charge(Activity.NATIVE, cycles)
+        if (
+            exit.target is None
+            or event.exception is not None
+            or exit.kind == exitmod.INNER
+        ):
+            return event
+        if exit.result_loc is not None:
+            # A type-guard exit carries the guarded value boxed; the
+            # branch trace was recorded for one specific actual type.
+            box = event.boxed_result
+            expected = exit.branch_result_type
+            if expected is None or not _tag_matches(box, expected):
+                return event  # fall back to the monitor
+            payload = None
+            if box is not None and box.tag not in (TAG_NULL, TAG_UNDEFINED):
+                payload = box.payload
+            self.ar.write(exit.result_slot, payload)
+            stats.ledger.charge(Activity.NATIVE, costs.NATIVE_STORE)
+        return None  # caller performs the stitched transfer
+
+    def _stitch(self, exit: SideExit):
+        """Transfer control to the branch trace patched onto ``exit``."""
+        stats = self.vm.stats
+        stats.tracing.stitched_transfers += 1
+        stats.ledger.charge(Activity.NATIVE, costs.STITCH_PENALTY)
+        fragment = exit.target
+        return fragment, fragment.native, 0, 0
+
+    # -- nested trees --------------------------------------------------------------
+
+    def _run_inner_tree(self, site, profile) -> int:
+        """Execute a nested tree call; returns the inner exit id.
+
+        Returns -1 when the inner tree could not even be entered (its
+        global imports no longer type-match), which fails the following
+        guard exactly like an unexpected inner exit.
+        """
+        inner_tree = site.tree
+        stats = self.vm.stats
+        stats.tracing.tree_calls_executed += 1
+        inner_ar = ActivationRecord(inner_tree.ar_size, self.ar.globals)
+        cycles = costs.CALLTREE_PER_SLOT * len(site.local_mapping)
+        for inner_slot, outer_slot in site.local_mapping:
+            inner_ar.slots[inner_slot] = self.ar.slots[outer_slot]
+        stats.ledger.charge(Activity.NATIVE, cycles)
+        inner_machine = NativeMachine(self.vm, inner_tree, inner_ar)
+        if not inner_machine.ensure_globals(inner_tree):
+            self.last_inner_event = None
+            return -1
+        event = inner_machine.run(inner_tree.fragment)
+        copy_back = costs.CALLTREE_PER_SLOT * len(site.local_mapping)
+        for inner_slot, outer_slot in site.local_mapping:
+            self.ar.slots[outer_slot] = inner_ar.slots[inner_slot]
+        stats.ledger.charge(Activity.NATIVE, copy_back)
+        self.last_inner_event = event
+        if event.exception is not None:
+            return -1
+        return event.exit.exit_id

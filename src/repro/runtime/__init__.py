@@ -1,0 +1,58 @@
+"""Runtime substrate: boxed values, objects with shapes, conversions, FFI.
+
+This package plays the role SpiderMonkey's object model plays in the
+paper: it is the *reason* tracing wins.  Values are boxed with tag bits
+(Figure 9), objects map property names to slots through shared shapes,
+and every generic operation pays tag-dispatch costs in the interpreter
+that the recorded traces then eliminate.
+"""
+
+from repro.runtime.values import (
+    Box,
+    FALSE,
+    INT_MAX,
+    INT_MIN,
+    NULL,
+    TAG_BOOLEAN,
+    TAG_DOUBLE,
+    TAG_INT,
+    TAG_NULL,
+    TAG_OBJECT,
+    TAG_STRING,
+    TAG_UNDEFINED,
+    UNDEFINED,
+    make_bool,
+    make_double,
+    make_int,
+    make_number,
+    make_object,
+    make_string,
+)
+from repro.runtime.objects import JSArray, JSFunction, JSObject, NativeFunction, Shape
+
+__all__ = [
+    "Box",
+    "FALSE",
+    "INT_MAX",
+    "INT_MIN",
+    "NULL",
+    "TAG_BOOLEAN",
+    "TAG_DOUBLE",
+    "TAG_INT",
+    "TAG_NULL",
+    "TAG_OBJECT",
+    "TAG_STRING",
+    "TAG_UNDEFINED",
+    "UNDEFINED",
+    "make_bool",
+    "make_double",
+    "make_int",
+    "make_number",
+    "make_object",
+    "make_string",
+    "JSArray",
+    "JSFunction",
+    "JSObject",
+    "NativeFunction",
+    "Shape",
+]

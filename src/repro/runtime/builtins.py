@@ -1,0 +1,636 @@
+"""Builtin (host) functions and objects for JSLite programs.
+
+``install_globals`` populates a fresh per-VM global table with:
+
+* ``Math`` — numeric kernels, mostly with typed FFI signatures so traces
+  call them directly (Section 6.5);
+* ``String.fromCharCode`` and the string method table (``charCodeAt``,
+  ``charAt``, ``indexOf``, ...), which are generic natives whose results
+  need type guards on trace (the paper's charCodeAt example);
+* ``Array`` constructor and the array prototype methods;
+* utility globals: ``print``, ``parseInt``, ``parseFloat``, ``isNaN``,
+  ``NaN``, ``Infinity``;
+* deliberately awkward natives for exercising the tracer's safety
+  machinery: ``hostEval`` (untraceable — aborts recording),
+  ``readGlobal``/``writeGlobal`` (interpreter-state access — force trace
+  exit), and ``reenter`` (re-enters the interpreter — sets the
+  reentry flag, forcing the running trace to exit after the call).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import JSThrow
+from repro.runtime import conversions
+from repro.runtime.ffi import TypedSignature
+from repro.runtime.objects import JSArray, JSObject, NativeFunction
+from repro.runtime.values import (
+    Box,
+    TAG_DOUBLE,
+    TAG_INT,
+    TAG_NULL,
+    TAG_OBJECT,
+    TAG_STRING,
+    TAG_UNDEFINED,
+    UNDEFINED,
+    make_bool,
+    make_double,
+    make_number,
+    make_object,
+    make_string,
+)
+
+
+class SeededRandom:
+    """Deterministic xorshift PRNG standing in for ``Math.random``.
+
+    Determinism keeps every benchmark run bit-identical, which the
+    simulated-cycle methodology depends on.
+    """
+
+    def __init__(self, seed: int = 0x2545F491):
+        self.state = seed & 0xFFFFFFFF or 1
+
+    def next_double(self) -> float:
+        x = self.state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self.state = x
+        return x / 4294967296.0
+
+
+def _num_arg(args, index, default=0.0) -> float:
+    if index >= len(args):
+        return default
+    return conversions.to_number(args[index])
+
+
+# ---------------------------------------------------------------------------
+# Math
+# ---------------------------------------------------------------------------
+
+
+def _make_math(vm) -> JSObject:
+    rng = SeededRandom()
+    vm.rng = rng
+    math_obj = JSObject()
+
+    def add_typed(name, raw_fn, param_types=("double",), result_type="double"):
+        signature = TypedSignature(tuple(param_types), result_type, raw_fn)
+
+        def boxed(vm_, this, args):
+            raw_args = [
+                conversions.to_number(args[i]) if i < len(args) else math.nan
+                for i in range(len(param_types))
+            ]
+            return make_number(raw_fn(*[float(a) for a in raw_args]))
+
+        math_obj.set_property(
+            name, make_object(NativeFunction(name, boxed, signature=signature))
+        )
+
+    def safe_sqrt(x: float) -> float:
+        return math.sqrt(x) if x >= 0 else math.nan
+
+    def safe_log(x: float) -> float:
+        if x > 0:
+            return math.log(x)
+        return -math.inf if x == 0 else math.nan
+
+    def safe_pow(base: float, exponent: float) -> float:
+        try:
+            result = math.pow(base, exponent)
+        except (OverflowError, ValueError):
+            if base < 0:
+                return math.nan
+            return math.inf
+        return result
+
+    def safe_exp(x: float) -> float:
+        try:
+            return math.exp(x)
+        except OverflowError:
+            return math.inf
+
+    add_typed("sin", math.sin)
+    add_typed("cos", math.cos)
+    add_typed("tan", math.tan)
+    add_typed("atan", math.atan)
+    add_typed("asin", lambda x: math.asin(x) if -1 <= x <= 1 else math.nan)
+    add_typed("acos", lambda x: math.acos(x) if -1 <= x <= 1 else math.nan)
+    add_typed("sqrt", safe_sqrt)
+    add_typed("exp", safe_exp)
+    add_typed("log", safe_log)
+    add_typed("abs", abs)
+    add_typed("floor", lambda x: float(math.floor(x)) if math.isfinite(x) else x)
+    add_typed("ceil", lambda x: float(math.ceil(x)) if math.isfinite(x) else x)
+    add_typed("round", lambda x: float(math.floor(x + 0.5)) if math.isfinite(x) else x)
+    add_typed("atan2", math.atan2, param_types=("double", "double"))
+    add_typed("pow", safe_pow, param_types=("double", "double"))
+    add_typed("random", rng.next_double, param_types=())
+
+    def js_min(vm_, this, args):
+        if not args:
+            return make_double(math.inf)
+        best = math.inf
+        for arg in args:
+            value = conversions.to_number(arg)
+            if isinstance(value, float) and math.isnan(value):
+                return make_double(math.nan)
+            if value < best:
+                best = value
+        return make_number(best)
+
+    def js_max(vm_, this, args):
+        if not args:
+            return make_double(-math.inf)
+        best = -math.inf
+        for arg in args:
+            value = conversions.to_number(arg)
+            if isinstance(value, float) and math.isnan(value):
+                return make_double(math.nan)
+            if value > best:
+                best = value
+        return make_number(best)
+
+    math_obj.set_property("min", make_object(NativeFunction("min", js_min)))
+    math_obj.set_property("max", make_object(NativeFunction("max", js_max)))
+    math_obj.set_property("PI", make_double(math.pi))
+    math_obj.set_property("E", make_double(math.e))
+    math_obj.set_property("LN2", make_double(math.log(2)))
+    math_obj.set_property("SQRT2", make_double(math.sqrt(2)))
+    return math_obj
+
+
+# ---------------------------------------------------------------------------
+# String methods (dispatched on string primitives by the interpreter)
+# ---------------------------------------------------------------------------
+
+
+def _string_this(this: Box) -> str:
+    return conversions.to_string(this)
+
+
+def _str_char_code_at(vm, this, args):
+    text = _string_this(this)
+    index = int(_num_arg(args, 0, 0))
+    if 0 <= index < len(text):
+        return make_number(ord(text[index]))
+    return make_double(math.nan)
+
+
+def _str_char_at(vm, this, args):
+    text = _string_this(this)
+    index = int(_num_arg(args, 0, 0))
+    if 0 <= index < len(text):
+        return make_string(text[index])
+    return make_string("")
+
+
+def _str_index_of(vm, this, args):
+    text = _string_this(this)
+    needle = conversions.to_string(args[0]) if args else "undefined"
+    start = int(_num_arg(args, 1, 0))
+    return make_number(text.find(needle, max(start, 0)))
+
+
+def _str_last_index_of(vm, this, args):
+    text = _string_this(this)
+    needle = conversions.to_string(args[0]) if args else "undefined"
+    return make_number(text.rfind(needle))
+
+
+def _clamp_index(value: float, length: int) -> int:
+    if isinstance(value, float) and math.isnan(value):
+        return 0
+    index = int(value)
+    if index < 0:
+        return 0
+    return min(index, length)
+
+
+def _str_substring(vm, this, args):
+    text = _string_this(this)
+    start = _clamp_index(_num_arg(args, 0, 0), len(text))
+    end = _clamp_index(_num_arg(args, 1, len(text)), len(text))
+    if start > end:
+        start, end = end, start
+    return make_string(text[start:end])
+
+
+def _str_slice(vm, this, args):
+    text = _string_this(this)
+    start = int(_num_arg(args, 0, 0))
+    end_default = float(len(text))
+    end = int(_num_arg(args, 1, end_default))
+    return make_string(text[slice(start if start >= 0 else max(len(text) + start, 0),
+                                  end if end >= 0 else max(len(text) + end, 0))])
+
+
+def _str_to_upper(vm, this, args):
+    return make_string(_string_this(this).upper())
+
+
+def _str_to_lower(vm, this, args):
+    return make_string(_string_this(this).lower())
+
+
+def _str_split(vm, this, args):
+    text = _string_this(this)
+    if not args:
+        arr = JSArray(proto=vm.array_prototype)
+        arr.set_element(0, make_string(text))
+        return make_object(arr)
+    separator = conversions.to_string(args[0])
+    pieces = list(text) if separator == "" else text.split(separator)
+    arr = JSArray(proto=vm.array_prototype)
+    for index, piece in enumerate(pieces):
+        arr.set_element(index, make_string(piece))
+    return make_object(arr)
+
+
+def _str_replace(vm, this, args):
+    """Non-regex replace of the first occurrence."""
+    text = _string_this(this)
+    pattern = conversions.to_string(args[0]) if args else "undefined"
+    replacement = conversions.to_string(args[1]) if len(args) > 1 else "undefined"
+    return make_string(text.replace(pattern, replacement, 1))
+
+
+def _str_concat(vm, this, args):
+    pieces = [_string_this(this)]
+    pieces.extend(conversions.to_string(arg) for arg in args)
+    return make_string("".join(pieces))
+
+
+def _str_trim(vm, this, args):
+    return make_string(_string_this(this).strip(" \t\n\r\f\v"))
+
+
+STRING_METHODS = {
+    "charCodeAt": NativeFunction("charCodeAt", _str_char_code_at),
+    "trim": NativeFunction("trim", _str_trim),
+    "charAt": NativeFunction("charAt", _str_char_at),
+    "indexOf": NativeFunction("indexOf", _str_index_of),
+    "lastIndexOf": NativeFunction("lastIndexOf", _str_last_index_of),
+    "substring": NativeFunction("substring", _str_substring),
+    "slice": NativeFunction("slice", _str_slice),
+    "toUpperCase": NativeFunction("toUpperCase", _str_to_upper),
+    "toLowerCase": NativeFunction("toLowerCase", _str_to_lower),
+    "split": NativeFunction("split", _str_split),
+    "replace": NativeFunction("replace", _str_replace),
+    "concat": NativeFunction("concat", _str_concat),
+}
+
+
+# ---------------------------------------------------------------------------
+# Array prototype
+# ---------------------------------------------------------------------------
+
+
+def _array_this(this: Box) -> JSArray:
+    if this.tag != TAG_OBJECT or not isinstance(this.payload, JSArray):
+        raise JSThrow(make_string("TypeError: not an array"))
+    return this.payload
+
+
+def _arr_push(vm, this, args):
+    arr = _array_this(this)
+    for arg in args:
+        arr.set_element(arr.length, arg)
+    return make_number(arr.length)
+
+
+def _arr_pop(vm, this, args):
+    arr = _array_this(this)
+    if arr.length == 0:
+        return UNDEFINED
+    value = arr.get_element(arr.length - 1)
+    if arr.length == len(arr.elements):
+        arr.elements.pop()
+    arr.length -= 1
+    return value if value is not None else UNDEFINED
+
+
+def _arr_join(vm, this, args):
+    arr = _array_this(this)
+    separator = conversions.to_string(args[0]) if args else ","
+    parts = []
+    for index in range(arr.length):
+        element = arr.get_element(index)
+        if element is None or element.tag in (TAG_NULL, TAG_UNDEFINED):
+            parts.append("")
+        else:
+            parts.append(conversions.to_string(element))
+    return make_string(separator.join(parts))
+
+
+def _arr_reverse(vm, this, args):
+    arr = _array_this(this)
+    arr.elements[: arr.length] = list(reversed(arr.elements[: arr.length]))
+    return this
+
+
+def _arr_slice(vm, this, args):
+    arr = _array_this(this)
+    start = int(_num_arg(args, 0, 0))
+    end = int(_num_arg(args, 1, float(arr.length)))
+    if start < 0:
+        start = max(arr.length + start, 0)
+    if end < 0:
+        end = max(arr.length + end, 0)
+    result = JSArray(proto=vm.array_prototype)
+    for out_index, index in enumerate(range(start, min(end, arr.length))):
+        value = arr.get_element(index)
+        result.set_element(out_index, value if value is not None else UNDEFINED)
+    return make_object(result)
+
+
+def _arr_index_of(vm, this, args):
+    from repro.runtime import operations
+
+    arr = _array_this(this)
+    needle = args[0] if args else UNDEFINED
+    start = int(_num_arg(args, 1, 0))
+    for index in range(max(start, 0), arr.length):
+        element = arr.get_element(index)
+        if element is not None and operations.strict_equals(element, needle):
+            return make_number(index)
+    return make_number(-1)
+
+
+def _arr_concat(vm, this, args):
+    arr = _array_this(this)
+    result = JSArray(proto=vm.array_prototype)
+    out = 0
+    for index in range(arr.length):
+        element = arr.get_element(index)
+        result.set_element(out, element if element is not None else UNDEFINED)
+        out += 1
+    for arg in args:
+        if arg.tag == TAG_OBJECT and isinstance(arg.payload, JSArray):
+            other = arg.payload
+            for index in range(other.length):
+                element = other.get_element(index)
+                result.set_element(
+                    out, element if element is not None else UNDEFINED
+                )
+                out += 1
+        else:
+            result.set_element(out, arg)
+            out += 1
+    return make_object(result)
+
+
+def _arr_shift(vm, this, args):
+    arr = _array_this(this)
+    if arr.length == 0:
+        return UNDEFINED
+    first = arr.get_element(0)
+    if arr.elements:
+        arr.elements.pop(0)
+    arr.length -= 1
+    return first if first is not None else UNDEFINED
+
+
+def _arr_unshift(vm, this, args):
+    arr = _array_this(this)
+    for arg in reversed(args):
+        arr.elements.insert(0, arg)
+    arr.length += len(args)
+    return make_number(arr.length)
+
+
+def _arr_sort(vm, this, args):
+    """Array.prototype.sort: default string order, or a comparator.
+
+    A comparator re-enters the interpreter from inside a native — the
+    paper's Section 6.5 reentrancy case — so this native is flagged
+    ``may_reenter`` and running traces exit after calling it.
+    """
+    import functools
+
+    arr = _array_this(this)
+    present = [
+        arr.get_element(index)
+        for index in range(arr.length)
+        if arr.get_element(index) is not None
+    ]
+    holes = arr.length - len(present)
+    comparator = None
+    if args and args[0].tag == TAG_OBJECT and args[0].payload.is_callable:
+        comparator = args[0].payload
+
+    if comparator is None:
+        present.sort(key=conversions.to_string)
+    else:
+        def compare(left, right):
+            outcome = vm.reenter_call(comparator, UNDEFINED, [left, right])
+            value = conversions.to_number(outcome)
+            if isinstance(value, float) and math.isnan(value):
+                return 0
+            if value < 0:
+                return -1
+            if value > 0:
+                return 1
+            return 0
+
+        present.sort(key=functools.cmp_to_key(compare))
+    arr.elements = present + [None] * holes
+    return this
+
+
+def make_array_prototype() -> JSObject:
+    proto = JSObject()
+    methods = [
+        ("push", _arr_push, {}),
+        ("pop", _arr_pop, {}),
+        ("join", _arr_join, {}),
+        ("reverse", _arr_reverse, {}),
+        ("slice", _arr_slice, {}),
+        ("indexOf", _arr_index_of, {}),
+        ("concat", _arr_concat, {}),
+        ("shift", _arr_shift, {}),
+        ("unshift", _arr_unshift, {}),
+        ("sort", _arr_sort, {"may_reenter": True}),
+    ]
+    for name, fn, flags in methods:
+        proto.set_property(name, make_object(NativeFunction(name, fn, **flags)))
+    return proto
+
+
+# ---------------------------------------------------------------------------
+# Global functions
+# ---------------------------------------------------------------------------
+
+
+def _js_print(vm, this, args):
+    text = " ".join(conversions.to_string(arg) for arg in args)
+    vm.output.append(text)
+    return UNDEFINED
+
+
+def _js_parse_int(vm, this, args):
+    text = conversions.to_string(args[0]).strip() if args else "undefined"
+    radix = int(_num_arg(args, 1, 10.0)) or 10
+    sign = 1
+    if text.startswith(("-", "+")):
+        if text[0] == "-":
+            sign = -1
+        text = text[1:]
+    if radix == 16 and text[:2] in ("0x", "0X"):
+        text = text[2:]
+    digits = "0123456789abcdefghijklmnopqrstuvwxyz"[:radix]
+    end = 0
+    for ch in text:
+        if ch.lower() not in digits:
+            break
+        end += 1
+    if end == 0:
+        return make_double(math.nan)
+    return make_number(sign * int(text[:end], radix))
+
+
+def _js_parse_float(vm, this, args):
+    text = conversions.to_string(args[0]).strip() if args else "undefined"
+    end = 0
+    seen_dot = False
+    seen_e = False
+    for index, ch in enumerate(text):
+        if ch.isdigit():
+            end = index + 1
+        elif ch == "." and not seen_dot and not seen_e:
+            seen_dot = True
+        elif ch in "eE" and not seen_e and end > 0:
+            seen_e = True
+        elif ch in "+-" and (index == 0 or text[index - 1] in "eE"):
+            continue
+        else:
+            break
+    while end < len(text) and (
+        text[end].isdigit()
+        or (text[end] == "." and not seen_e)
+        or text[end] in "eE+-"
+    ):
+        end += 1
+    try:
+        return make_number(float(text[:end]))
+    except ValueError:
+        return make_double(math.nan)
+
+
+def _js_is_nan(vm, this, args):
+    value = conversions.to_number(args[0]) if args else math.nan
+    return make_bool(isinstance(value, float) and math.isnan(value))
+
+
+def _js_is_finite(vm, this, args):
+    value = conversions.to_number(args[0]) if args else math.nan
+    return make_bool(not (isinstance(value, float) and not math.isfinite(value)))
+
+
+def _js_array_ctor(vm, this, args):
+    if len(args) == 1 and args[0].tag in (TAG_INT, TAG_DOUBLE):
+        length = int(conversions.to_number(args[0]))
+        arr = JSArray(length, proto=vm.array_prototype)
+        return make_object(arr)
+    arr = JSArray(proto=vm.array_prototype)
+    for index, arg in enumerate(args):
+        arr.set_element(index, arg)
+    return make_object(arr)
+
+
+def _js_string_from_char_code(vm, this, args):
+    chars = [chr(int(conversions.to_number(arg)) & 0xFFFF) for arg in args]
+    return make_string("".join(chars))
+
+
+def _js_host_eval(vm, this, args):
+    """An ``eval``-like native: runs a tiny host-side computation.
+
+    Untraceable on purpose — recording a trace through it would require
+    knowing the type map afterwards, so the recorder aborts (paper
+    Section 3.1, "Aborts").
+    """
+    if args and args[0].tag == TAG_STRING:
+        try:
+            return make_number(float(eval(args[0].payload, {"__builtins__": {}}, {})))
+        except Exception:
+            return UNDEFINED
+    return UNDEFINED
+
+
+def _js_read_global(vm, this, args):
+    """Reads a global by name through the interpreter API (Section 6.5:
+    natives that access interpreter state force a trace exit)."""
+    name = conversions.to_string(args[0]) if args else ""
+    return vm.globals.get(name, UNDEFINED)
+
+
+def _js_write_global(vm, this, args):
+    name = conversions.to_string(args[0]) if args else ""
+    vm.globals[name] = args[1] if len(args) > 1 else UNDEFINED
+    return UNDEFINED
+
+
+def _js_reenter(vm, this, args):
+    """Re-enters the interpreter from a native (Section 6.5).
+
+    Runs ``fn()`` for a JSLite function argument; sets the VM's reentry
+    flag so a running trace exits right after this call returns.
+    """
+    if args and args[0].tag == TAG_OBJECT and args[0].payload.is_callable:
+        return vm.reenter_call(args[0].payload, UNDEFINED, list(args[1:]))
+    return UNDEFINED
+
+
+def install_globals(vm) -> None:
+    """Populate ``vm.globals`` with the standard library."""
+    vm.array_prototype = make_array_prototype()
+    globals_table = vm.globals
+    globals_table["Math"] = make_object(_make_math(vm))
+
+    string_fn = NativeFunction(
+        "String",
+        lambda vm_, this, args: make_string(
+            conversions.to_string(args[0]) if args else ""
+        ),
+    )
+    string_fn.set_property(
+        "fromCharCode",
+        make_object(NativeFunction("fromCharCode", _js_string_from_char_code)),
+    )
+    globals_table["String"] = make_object(string_fn)
+
+    globals_table["Array"] = make_object(NativeFunction("Array", _js_array_ctor))
+    globals_table["Number"] = make_object(
+        NativeFunction(
+            "Number",
+            lambda vm_, this, args: make_number(
+                conversions.to_number(args[0]) if args else 0
+            ),
+        )
+    )
+    globals_table["print"] = make_object(NativeFunction("print", _js_print))
+    globals_table["parseInt"] = make_object(NativeFunction("parseInt", _js_parse_int))
+    globals_table["parseFloat"] = make_object(
+        NativeFunction("parseFloat", _js_parse_float)
+    )
+    globals_table["isNaN"] = make_object(NativeFunction("isNaN", _js_is_nan))
+    globals_table["isFinite"] = make_object(NativeFunction("isFinite", _js_is_finite))
+    globals_table["NaN"] = make_double(math.nan)
+    globals_table["Infinity"] = make_double(math.inf)
+    globals_table["hostEval"] = make_object(
+        NativeFunction("hostEval", _js_host_eval, traceable=False)
+    )
+    globals_table["readGlobal"] = make_object(
+        NativeFunction("readGlobal", _js_read_global, accesses_state=True)
+    )
+    globals_table["writeGlobal"] = make_object(
+        NativeFunction("writeGlobal", _js_write_global, accesses_state=True)
+    )
+    globals_table["reenter"] = make_object(
+        NativeFunction("reenter", _js_reenter, may_reenter=True)
+    )

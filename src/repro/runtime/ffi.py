@@ -1,0 +1,57 @@
+"""Foreign-function interface between traces and host natives.
+
+The paper (Section 6.5) describes two FFIs:
+
+* the **legacy FFI**: every JS-callable native takes an array of boxed
+  values; calling it from a trace requires boxing every argument and
+  unboxing (plus type-guarding) the result;
+* the **typed FFI**: "we defined a new FFI that allows C functions to be
+  annotated with their argument types so that the tracer can call them
+  directly, without unnecessary argument conversions."
+
+:class:`TypedSignature` is that annotation.  A native with a signature
+exposes ``raw_fn`` operating on unboxed Python values; the trace calls
+it directly.  A native without one is called through the boxed path and
+pays :data:`repro.costs.FFI_BOX_PER_ARG` per argument, and its result
+needs a type guard because the type is unpredictable (the paper's
+``String.charCodeAt`` example, which returns an int or NaN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+#: Type names usable in signatures.  These correspond 1:1 to the trace
+#: type system in :mod:`repro.core.typemap` (kept as strings here to
+#: keep the runtime layer independent of the tracing core).
+SIGNATURE_TYPES = ("int", "double", "string", "bool", "object")
+
+
+@dataclass(frozen=True)
+class TypedSignature:
+    """Typed annotation letting a trace call a native directly.
+
+    ``param_types``/``result_type`` use :data:`SIGNATURE_TYPES` names.
+    ``raw_fn`` receives unboxed Python values (ints, floats, strs, ...)
+    and must return an unboxed value of ``result_type``.
+    """
+
+    param_types: Tuple[str, ...]
+    result_type: str
+    raw_fn: Callable
+
+    def __post_init__(self):
+        for type_name in self.param_types + (self.result_type,):
+            if type_name not in SIGNATURE_TYPES:
+                raise ValueError(f"unknown signature type {type_name!r}")
+
+
+def typed(param_types, result_type):
+    """Decorator: ``@typed(("double",), "double")`` wraps a raw function
+    into a :class:`TypedSignature`."""
+
+    def wrap(raw_fn):
+        return TypedSignature(tuple(param_types), result_type, raw_fn)
+
+    return wrap

@@ -1,0 +1,125 @@
+"""Event counters and execution profiles.
+
+Two consumers:
+
+* the Figure 11 reproduction needs the fraction of dynamic bytecodes
+  executed by the interpreter, while recording, and on native traces;
+* the evaluation narrative needs tracing-event counts (trees formed,
+  branch traces attached, aborts, blacklistings, side exits, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costs import Activity, CycleLedger
+
+
+@dataclass
+class ExecutionProfile:
+    """Dynamic bytecode counts by execution mode (Figure 11)."""
+
+    interpreted: int = 0
+    recorded: int = 0
+    native: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.interpreted + self.recorded + self.native
+
+    def fraction_native(self) -> float:
+        """Fraction of dynamic bytecodes executed on compiled traces."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.native / total
+
+    def fraction_recorded(self) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.recorded / total
+
+    def fraction_interpreted(self) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.interpreted / total
+
+
+@dataclass
+class TraceStats:
+    """Counters for tracing events."""
+
+    loops_seen: int = 0
+    recordings_started: int = 0
+    traces_completed: int = 0
+    traces_aborted: int = 0
+    abort_reasons: dict = field(default_factory=dict)
+    trees_formed: int = 0
+    branch_traces: int = 0
+    unstable_traces: int = 0
+    unstable_links: int = 0
+    tree_calls_recorded: int = 0
+    tree_calls_executed: int = 0
+    trace_entries: int = 0
+    side_exits_taken: int = 0
+    stitched_transfers: int = 0
+    loop_iterations_native: int = 0
+    blacklisted: int = 0
+    backoffs: int = 0
+    oracle_marks: int = 0
+    guards_emitted: int = 0
+    deep_bails: int = 0
+
+    def count_abort(self, reason: str) -> None:
+        self.traces_aborted += 1
+        self.abort_reasons[reason] = self.abort_reasons.get(reason, 0) + 1
+
+
+@dataclass
+class VMStats:
+    """Everything a run of the VM measures, in one bag."""
+
+    ledger: CycleLedger = field(default_factory=CycleLedger)
+    profile: ExecutionProfile = field(default_factory=ExecutionProfile)
+    tracing: TraceStats = field(default_factory=TraceStats)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.ledger.total
+
+    def time_breakdown(self) -> dict:
+        """Per-activity cycle fractions (Figure 12 rows)."""
+        return {
+            activity.value: self.ledger.fraction(activity) for activity in Activity
+        }
+
+    def summary_lines(self) -> list:
+        """Human-readable multi-line summary for examples and the CLI."""
+        lines = [
+            f"total simulated cycles : {self.total_cycles:,}",
+            "cycle breakdown        : "
+            + ", ".join(
+                f"{name}={frac:.1%}" for name, frac in self.time_breakdown().items()
+            ),
+            f"dynamic bytecodes      : {self.profile.total:,} "
+            f"(native {self.profile.fraction_native():.1%}, "
+            f"interpreted {self.profile.fraction_interpreted():.1%}, "
+            f"recorded {self.profile.fraction_recorded():.1%})",
+            f"trees formed           : {self.tracing.trees_formed} "
+            f"(+{self.tracing.branch_traces} branch traces)",
+            f"recordings             : {self.tracing.recordings_started} started, "
+            f"{self.tracing.traces_completed} completed, "
+            f"{self.tracing.traces_aborted} aborted",
+            f"side exits taken       : {self.tracing.side_exits_taken} "
+            f"({self.tracing.stitched_transfers} stitched)",
+            f"blacklisted fragments  : {self.tracing.blacklisted}",
+        ]
+        if self.tracing.abort_reasons:
+            reasons = ", ".join(
+                f"{reason}×{count}"
+                for reason, count in sorted(self.tracing.abort_reasons.items())
+            )
+            lines.append(f"abort reasons          : {reasons}")
+        return lines

@@ -1,0 +1,27 @@
+"""The benchmark suite: SunSpider-like JSLite programs and the runner.
+
+The paper evaluates on SunSpider (26 short programs: 3d rendering,
+bit-bashing, crypto, math kernels, string processing).  This package
+carries scaled-down JSLite equivalents in the same categories, plus the
+runner that produces the Figure 10 / 11 / 12 data.
+"""
+
+from repro.suite.programs import PROGRAMS, BenchmarkProgram, programs_by_category
+from repro.suite.runner import (
+    SuiteResult,
+    figure10_table,
+    figure11_table,
+    figure12_table,
+    run_program,
+)
+
+__all__ = [
+    "PROGRAMS",
+    "BenchmarkProgram",
+    "programs_by_category",
+    "SuiteResult",
+    "figure10_table",
+    "figure11_table",
+    "figure12_table",
+    "run_program",
+]

@@ -1,0 +1,1008 @@
+"""SunSpider-like benchmark programs, written in JSLite.
+
+Each program mirrors the structure (and where practical the actual
+code) of the corresponding SunSpider benchmark, scaled down so the
+whole suite runs in seconds under a Python-hosted interpreter.  The
+*shape* of each workload — type-stable integer loops, double-heavy math
+kernels, branchy string scanning, allocation-heavy recursion — is what
+drives the paper's Figure 10, and is preserved.
+
+``expected_traceable`` records whether the paper's TraceMonkey would
+trace the program well; three programs are deliberately untraceable
+(recursion-only control flow, and an ``eval``-like host call), matching
+"Three of the benchmarks are not traced at all and run in the
+interpreter" (Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchmarkProgram:
+    name: str
+    category: str
+    source: str
+    expected_traceable: bool = True
+
+
+_BITWISE_AND = BenchmarkProgram(
+    name="bitops-bitwise-and",
+    category="bitops",
+    source="""
+var bitwiseAndValue = 4294967296;
+for (var i = 0; i < 2500; i++)
+    bitwiseAndValue = bitwiseAndValue & i;
+bitwiseAndValue;
+""",
+)
+
+_3BIT_BITS = BenchmarkProgram(
+    name="bitops-3bit-bits-in-byte",
+    category="bitops",
+    source="""
+function fast3bitlookup(b) {
+    var c, bi3b = 0xE994;
+    c  = 3 & (bi3b >> ((b << 1) & 14));
+    c += 3 & (bi3b >> ((b >> 2) & 14));
+    c += 3 & (bi3b >> ((b >> 5) & 6));
+    return c;
+}
+var sum = 0;
+for (var x = 0; x < 6; x++)
+    for (var y = 0; y < 256; y++)
+        sum += fast3bitlookup(y);
+sum;
+""",
+)
+
+_BITS_IN_BYTE = BenchmarkProgram(
+    name="bitops-bits-in-byte",
+    category="bitops",
+    source="""
+function bitsinbyte(b) {
+    var m = 1, c = 0;
+    while (m < 0x100) {
+        if (b & m) c++;
+        m <<= 1;
+    }
+    return c;
+}
+var result = 0;
+for (var i = 0; i < 3; i++)
+    for (var j = 0; j < 256; j++)
+        result += bitsinbyte(j);
+result;
+""",
+)
+
+_NSIEVE_BITS = BenchmarkProgram(
+    name="bitops-nsieve-bits",
+    category="bitops",
+    source="""
+function nsieveBits(m) {
+    var count = 0;
+    var size = (m >> 5) + 1;
+    var flags = new Array(size);
+    for (var f = 0; f < size; f++) flags[f] = -1;
+    for (var i = 2; i < m; i++) {
+        if (flags[i >> 5] & (1 << (i & 31))) {
+            count++;
+            for (var j = i + i; j < m; j += i)
+                flags[j >> 5] = flags[j >> 5] & ~(1 << (j & 31));
+        }
+    }
+    return count;
+}
+nsieveBits(800) + nsieveBits(400);
+""",
+)
+
+_CORDIC = BenchmarkProgram(
+    name="math-cordic",
+    category="math",
+    source="""
+var AG_CONST = 0.6072529350;
+function FIXED(x) { return x * 65536.0; }
+function FLOAT(x) { return x / 65536.0; }
+var Angles = [
+    FIXED(45.0), FIXED(26.565), FIXED(14.0362), FIXED(7.12502),
+    FIXED(3.57633), FIXED(1.78991), FIXED(0.895174), FIXED(0.447614),
+    FIXED(0.223811), FIXED(0.111906), FIXED(0.055953), FIXED(0.027977)
+];
+function cordicsincos(Target) {
+    var X = FIXED(AG_CONST);
+    var Y = 0;
+    var TargetAngle = FIXED(Target);
+    var CurrAngle = 0;
+    for (var Step = 0; Step < 12; Step++) {
+        var NewX;
+        if (TargetAngle > CurrAngle) {
+            NewX = X - (Y >> Step);
+            Y = (X >> Step) + Y;
+            X = NewX;
+            CurrAngle += Angles[Step];
+        } else {
+            NewX = X + (Y >> Step);
+            Y = Y - (X >> Step);
+            X = NewX;
+            CurrAngle -= Angles[Step];
+        }
+    }
+    return FLOAT(X) * FLOAT(Y);
+}
+var total = 0;
+for (var i = 0; i < 300; i++)
+    total += cordicsincos(28.027);
+Math.floor(total);
+""",
+)
+
+_PARTIAL_SUMS = BenchmarkProgram(
+    name="math-partial-sums",
+    category="math",
+    source="""
+function partial(n) {
+    var a1 = 0, a2 = 0, a3 = 0, a4 = 0, a5 = 0, a6 = 0, a7 = 0, a8 = 0, a9 = 0;
+    var twothirds = 2.0 / 3.0;
+    var alt = -1.0;
+    var k2 = 0, k3 = 0, sk = 0, ck = 0;
+    for (var k = 1; k <= n; k++) {
+        k2 = k * k;
+        k3 = k2 * k;
+        sk = Math.sin(k);
+        ck = Math.cos(k);
+        alt = -alt;
+        a1 += Math.pow(twothirds, k - 1);
+        a2 += Math.pow(k, -0.5);
+        a3 += 1.0 / (k * (k + 1.0));
+        a4 += 1.0 / (k3 * sk * sk);
+        a5 += 1.0 / (k3 * ck * ck);
+        a6 += 1.0 / k;
+        a7 += 1.0 / k2;
+        a8 += alt / k;
+        a9 += alt / (2 * k - 1);
+    }
+    return a1 + a2 + a3 + a4 + a5 + a6 + a7 + a8 + a9;
+}
+var total = 0;
+for (var i = 0; i < 3; i++)
+    total += partial(200);
+Math.floor(total * 1000);
+""",
+)
+
+_SPECTRAL_NORM = BenchmarkProgram(
+    name="math-spectral-norm",
+    category="math",
+    source="""
+function A(i, j) {
+    return 1 / ((i + j) * (i + j + 1) / 2 + i + 1);
+}
+function Au(u, v) {
+    var n = u.length;
+    for (var i = 0; i < n; ++i) {
+        var t = 0;
+        for (var j = 0; j < n; ++j)
+            t += A(i, j) * u[j];
+        v[i] = t;
+    }
+}
+function Atu(u, v) {
+    var n = u.length;
+    for (var i = 0; i < n; ++i) {
+        var t = 0;
+        for (var j = 0; j < n; ++j)
+            t += A(j, i) * u[j];
+        v[i] = t;
+    }
+}
+function AtAu(u, v, w) {
+    Au(u, w);
+    Atu(w, v);
+}
+function spectralnorm(n) {
+    var u = new Array(n), v = new Array(n), w = new Array(n);
+    var vv = 0, vBv = 0;
+    for (var i = 0; i < n; ++i) {
+        u[i] = 1.0;
+        v[i] = 0.0;
+        w[i] = 0.0;
+    }
+    for (var it = 0; it < 6; ++it) {
+        AtAu(u, v, w);
+        AtAu(v, u, w);
+    }
+    for (var k = 0; k < n; ++k) {
+        vBv += u[k] * v[k];
+        vv += v[k] * v[k];
+    }
+    return Math.sqrt(vBv / vv);
+}
+Math.floor(spectralnorm(12) * 1000000);
+""",
+)
+
+_MORPH = BenchmarkProgram(
+    name="3d-morph",
+    category="3d",
+    source="""
+var loops = 5;
+var nx = 24;
+var nz = 8;
+function morph(a, f) {
+    var PI2nx = Math.PI * 8 / nx;
+    var sin = Math.sin;
+    var f30 = -(50.0 / 30.0) * f;
+    for (var i = 0; i < nz; ++i) {
+        for (var j = 0; j < nx; ++j) {
+            a[3 * (i * nx + j) + 1] = sin((j - 1) * PI2nx + f30) * 0.8;
+        }
+    }
+}
+var a = new Array(nx * nz * 3);
+for (var i = 0; i < nx * nz * 3; ++i)
+    a[i] = 0.0;
+for (var i = 0; i < loops; ++i) {
+    morph(a, i / loops);
+}
+var testOutput = 0;
+for (var i = 0; i < nx; i++)
+    testOutput += a[3 * (i * nx + i) + 1];
+Math.floor(testOutput * 1000000);
+""",
+)
+
+_ACCESS_NSIEVE = BenchmarkProgram(
+    name="access-nsieve",
+    category="access",
+    source="""
+function pad(number, width) {
+    var s = number.toString;
+    return number;
+}
+function nsieve(m, isPrime) {
+    var count = 0;
+    for (var i = 2; i < m; i++)
+        isPrime[i] = true;
+    for (var i = 2; i < m; i++) {
+        if (isPrime[i]) {
+            for (var k = i + i; k < m; k += i)
+                isPrime[k] = false;
+            count++;
+        }
+    }
+    return count;
+}
+var result = 0;
+var flags = new Array(1200 + 1);
+result += nsieve(1200, flags);
+result += nsieve(600, flags);
+result += nsieve(300, flags);
+result;
+""",
+)
+
+_FANNKUCH = BenchmarkProgram(
+    name="access-fannkuch",
+    category="access",
+    source="""
+function fannkuch(n) {
+    var check = 0;
+    var perm = new Array(n);
+    var perm1 = new Array(n);
+    var count = new Array(n);
+    var maxPerm = new Array(n);
+    var maxFlipsCount = 0;
+    var m = n - 1;
+    for (var i = 0; i < n; i++) perm1[i] = i;
+    var r = n;
+    while (true) {
+        while (r != 1) { count[r - 1] = r; r--; }
+        if (!(perm1[0] == 0 || perm1[m] == m)) {
+            for (var i = 0; i < n; i++) perm[i] = perm1[i];
+            var flipsCount = 0;
+            var k = perm[0];
+            while (k != 0) {
+                var k2 = (k + 1) >> 1;
+                for (var i = 0; i < k2; i++) {
+                    var temp = perm[i];
+                    perm[i] = perm[k - i];
+                    perm[k - i] = temp;
+                }
+                flipsCount++;
+                k = perm[0];
+            }
+            if (flipsCount > maxFlipsCount) {
+                maxFlipsCount = flipsCount;
+                for (var i = 0; i < n; i++) maxPerm[i] = perm1[i];
+            }
+        }
+        while (true) {
+            if (r == n) return maxFlipsCount;
+            var perm0 = perm1[0];
+            var i = 0;
+            while (i < r) {
+                var j = i + 1;
+                perm1[i] = perm1[j];
+                i = j;
+            }
+            perm1[r] = perm0;
+            count[r] = count[r] - 1;
+            if (count[r] > 0) break;
+            r++;
+        }
+    }
+}
+fannkuch(6);
+""",
+)
+
+_NBODY = BenchmarkProgram(
+    name="access-nbody",
+    category="access",
+    source="""
+var PI = Math.PI;
+var SOLAR_MASS = 4 * PI * PI;
+var DAYS_PER_YEAR = 365.24;
+
+function Body(x, y, z, vx, vy, vz, mass) {
+    this.x = x;
+    this.y = y;
+    this.z = z;
+    this.vx = vx;
+    this.vy = vy;
+    this.vz = vz;
+    this.mass = mass;
+}
+
+function makeBodies() {
+    var bodies = new Array(0);
+    bodies.push(new Body(0, 0, 0, 0, 0, 0, SOLAR_MASS));
+    bodies.push(new Body(4.84143144246472090, -1.16032004402742839,
+        -0.103622044471123109, 0.00166007664274403694 * DAYS_PER_YEAR,
+        0.00769901118419740425 * DAYS_PER_YEAR,
+        -0.0000690460016972063023 * DAYS_PER_YEAR,
+        0.000954791938424326609 * SOLAR_MASS));
+    bodies.push(new Body(8.34336671824457987, 4.12479856412430479,
+        -0.403523417114321381, -0.00276742510726862411 * DAYS_PER_YEAR,
+        0.00499852801234917238 * DAYS_PER_YEAR,
+        0.0000230417297573763929 * DAYS_PER_YEAR,
+        0.000285885980666130812 * SOLAR_MASS));
+    return bodies;
+}
+
+function advance(bodies, dt) {
+    var size = bodies.length;
+    for (var i = 0; i < size; i++) {
+        var bodyi = bodies[i];
+        for (var j = i + 1; j < size; j++) {
+            var bodyj = bodies[j];
+            var dx = bodyi.x - bodyj.x;
+            var dy = bodyi.y - bodyj.y;
+            var dz = bodyi.z - bodyj.z;
+            var distance = Math.sqrt(dx * dx + dy * dy + dz * dz);
+            var mag = dt / (distance * distance * distance);
+            bodyi.vx -= dx * bodyj.mass * mag;
+            bodyi.vy -= dy * bodyj.mass * mag;
+            bodyi.vz -= dz * bodyj.mass * mag;
+            bodyj.vx += dx * bodyi.mass * mag;
+            bodyj.vy += dy * bodyi.mass * mag;
+            bodyj.vz += dz * bodyi.mass * mag;
+        }
+    }
+    for (var i = 0; i < size; i++) {
+        var body = bodies[i];
+        body.x += dt * body.vx;
+        body.y += dt * body.vy;
+        body.z += dt * body.vz;
+    }
+}
+
+function energy(bodies) {
+    var e = 0;
+    var size = bodies.length;
+    for (var i = 0; i < size; i++) {
+        var bodyi = bodies[i];
+        e += 0.5 * bodyi.mass * (bodyi.vx * bodyi.vx
+            + bodyi.vy * bodyi.vy + bodyi.vz * bodyi.vz);
+        for (var j = i + 1; j < size; j++) {
+            var bodyj = bodies[j];
+            var dx = bodyi.x - bodyj.x;
+            var dy = bodyi.y - bodyj.y;
+            var dz = bodyi.z - bodyj.z;
+            var distance = Math.sqrt(dx * dx + dy * dy + dz * dz);
+            e -= bodyi.mass * bodyj.mass / distance;
+        }
+    }
+    return e;
+}
+
+var bodies = makeBodies();
+for (var step = 0; step < 150; step++)
+    advance(bodies, 0.01);
+Math.floor(energy(bodies) * 1000000);
+""",
+)
+
+_BINARY_TREES = BenchmarkProgram(
+    name="access-binary-trees",
+    category="access",
+    expected_traceable=False,
+    source="""
+function TreeNode(left, right, item) {
+    this.left = left;
+    this.right = right;
+    this.item = item;
+}
+function itemCheck(node) {
+    if (node.left === null) return node.item;
+    return node.item + itemCheck(node.left) - itemCheck(node.right);
+}
+function bottomUpTree(item, depth) {
+    if (depth > 0) {
+        return new TreeNode(
+            bottomUpTree(2 * item - 1, depth - 1),
+            bottomUpTree(2 * item, depth - 1),
+            item);
+    }
+    return new TreeNode(null, null, item);
+}
+var ret = 0;
+for (var n = 0; n < 3; n++) {
+    var minDepth = 4;
+    var maxDepth = 6;
+    var stretchDepth = maxDepth + 1;
+    var check = itemCheck(bottomUpTree(0, stretchDepth));
+    var longLivedTree = bottomUpTree(0, maxDepth);
+    for (var depth = minDepth; depth <= maxDepth; depth += 2) {
+        var iterations = 1 << (maxDepth - depth + minDepth);
+        check = 0;
+        for (var i = 1; i <= iterations; i++) {
+            check += itemCheck(bottomUpTree(i, depth));
+            check += itemCheck(bottomUpTree(-i, depth));
+        }
+    }
+    ret += check;
+}
+ret;
+""",
+)
+
+_RECURSIVE = BenchmarkProgram(
+    name="controlflow-recursive",
+    category="controlflow",
+    expected_traceable=False,
+    source="""
+function ack(m, n) {
+    if (m == 0) return n + 1;
+    if (n == 0) return ack(m - 1, 1);
+    return ack(m - 1, ack(m, n - 1));
+}
+function fib(n) {
+    if (n < 2) return 1;
+    return fib(n - 2) + fib(n - 1);
+}
+function tak(x, y, z) {
+    if (y >= x) return z;
+    return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y));
+}
+var result = 0;
+for (var i = 2; i <= 3; i++) {
+    result += ack(2, i);
+    result += fib(3 + i);
+    result += tak(i * 2, i, i + 1);
+}
+result;
+""",
+)
+
+_SHA1 = BenchmarkProgram(
+    name="crypto-sha1",
+    category="crypto",
+    source="""
+function rol(num, cnt) {
+    return (num << cnt) | (num >>> (32 - cnt));
+}
+function safeAdd(x, y) {
+    var lsw = (x & 0xFFFF) + (y & 0xFFFF);
+    var msw = (x >> 16) + (y >> 16) + (lsw >> 16);
+    return (msw << 16) | (lsw & 0xFFFF);
+}
+function sha1ft(t, b, c, d) {
+    if (t < 20) return (b & c) | ((~b) & d);
+    if (t < 40) return b ^ c ^ d;
+    if (t < 60) return (b & c) | (b & d) | (c & d);
+    return b ^ c ^ d;
+}
+function sha1kt(t) {
+    if (t < 20) return 1518500249;
+    if (t < 40) return 1859775393;
+    if (t < 60) return -1894007588;
+    return -899497514;
+}
+function coreSha1(blocks) {
+    var w = new Array(80);
+    var a = 1732584193;
+    var b = -271733879;
+    var c = -1732584194;
+    var d = 271733878;
+    var e = -1009589776;
+    for (var i = 0; i < blocks.length; i += 16) {
+        var olda = a, oldb = b, oldc = c, oldd = d, olde = e;
+        for (var j = 0; j < 80; j++) {
+            if (j < 16) w[j] = blocks[i + j];
+            else w[j] = rol(w[j - 3] ^ w[j - 8] ^ w[j - 14] ^ w[j - 16], 1);
+            var t = safeAdd(safeAdd(rol(a, 5), sha1ft(j, b, c, d)),
+                            safeAdd(safeAdd(e, w[j]), sha1kt(j)));
+            e = d;
+            d = c;
+            c = rol(b, 30);
+            b = a;
+            a = t;
+        }
+        a = safeAdd(a, olda);
+        b = safeAdd(b, oldb);
+        c = safeAdd(c, oldc);
+        d = safeAdd(d, oldd);
+        e = safeAdd(e, olde);
+    }
+    return safeAdd(a, safeAdd(b, safeAdd(c, safeAdd(d, e))));
+}
+var blocks = new Array(64);
+for (var i = 0; i < 64; i++)
+    blocks[i] = (i * 1103515245 + 12345) & 0x7fffffff;
+var digest = 0;
+for (var round = 0; round < 4; round++)
+    digest = digest ^ coreSha1(blocks);
+digest;
+""",
+)
+
+_CRC32 = BenchmarkProgram(
+    name="crypto-crc32",
+    category="crypto",
+    source="""
+var crcTable = new Array(256);
+for (var n = 0; n < 256; n++) {
+    var c = n;
+    for (var k = 0; k < 8; k++) {
+        if (c & 1) c = -306674912 ^ (c >>> 1);
+        else c = c >>> 1;
+    }
+    crcTable[n] = c;
+}
+function crc32(text) {
+    var crc = -1;
+    for (var i = 0; i < text.length; i++)
+        crc = (crc >>> 8) ^ crcTable[(crc ^ text.charCodeAt(i)) & 0xFF];
+    return (crc ^ -1) >>> 0;
+}
+var message = '';
+for (var i = 0; i < 16; i++)
+    message += 'The quick brown fox jumps over the lazy dog. ';
+var sum = 0;
+for (var round = 0; round < 6; round++)
+    sum = (sum + crc32(message)) & 0x7fffffff;
+sum;
+""",
+)
+
+_BASE64 = BenchmarkProgram(
+    name="string-base64",
+    category="string",
+    source="""
+var toBase64Table = 'ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/';
+var base64Pad = '=';
+function toBase64(data) {
+    var result = '';
+    var length = data.length;
+    var i;
+    for (i = 0; i < (length - 2); i += 3) {
+        result += toBase64Table.charAt(data.charCodeAt(i) >> 2);
+        result += toBase64Table.charAt(((data.charCodeAt(i) & 0x03) << 4) | (data.charCodeAt(i + 1) >> 4));
+        result += toBase64Table.charAt(((data.charCodeAt(i + 1) & 0x0f) << 2) | (data.charCodeAt(i + 2) >> 6));
+        result += toBase64Table.charAt(data.charCodeAt(i + 2) & 0x3f);
+    }
+    if (length % 3) {
+        i = length - (length % 3);
+        result += toBase64Table.charAt(data.charCodeAt(i) >> 2);
+        if ((length % 3) == 2) {
+            result += toBase64Table.charAt(((data.charCodeAt(i) & 0x03) << 4) | (data.charCodeAt(i + 1) >> 4));
+            result += toBase64Table.charAt((data.charCodeAt(i + 1) & 0x0f) << 2);
+            result += base64Pad;
+        } else {
+            result += toBase64Table.charAt((data.charCodeAt(i) & 0x03) << 4);
+            result += base64Pad + base64Pad;
+        }
+    }
+    return result;
+}
+var str = '';
+for (var i = 0; i < 40; i++)
+    str += String.fromCharCode((25 * (i * i) + 11) % 128);
+var encoded = '';
+for (var round = 0; round < 8; round++)
+    encoded = toBase64(str + encoded.substring(0, 30));
+encoded.length;
+""",
+)
+
+_VALIDATE = BenchmarkProgram(
+    name="string-validate-input",
+    category="string",
+    source="""
+var letters = 'abcdefghijklmnopqrstuvwxyz';
+var numbers = '0123456789';
+function makeName(n) {
+    var name = '';
+    for (var i = 0; i < 6; i++)
+        name += letters.charAt((n * 7 + i * 13) % 26);
+    return name;
+}
+function makeNumber(n) {
+    var number = '';
+    for (var i = 0; i < 9; i++)
+        number += numbers.charAt((n * 3 + i * 5) % 10);
+    return number;
+}
+function isValidName(name) {
+    if (name.length < 3) return false;
+    for (var i = 0; i < name.length; i++) {
+        var code = name.charCodeAt(i);
+        if (code < 97 || code > 122) return false;
+    }
+    return true;
+}
+function isValidNumber(number) {
+    if (number.length != 9) return false;
+    for (var i = 0; i < number.length; i++) {
+        var code = number.charCodeAt(i);
+        if (code < 48 || code > 57) return false;
+    }
+    return true;
+}
+var valid = 0;
+for (var i = 0; i < 150; i++) {
+    var name = makeName(i);
+    var number = makeNumber(i);
+    if (isValidName(name)) valid++;
+    if (isValidNumber(number)) valid++;
+    if (isValidName(name + '!')) valid++;
+}
+valid;
+""",
+)
+
+_FASTA = BenchmarkProgram(
+    name="string-fasta",
+    category="string",
+    source="""
+var ALU = 'GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGGGAGGCCGAGGCGGGCGGA';
+var iubCodes = 'acgtBDHKMNRSVWY';
+var iubProbs = [0.27, 0.39, 0.51, 0.78, 0.8, 0.82, 0.84, 0.86,
+                0.88, 0.9, 0.92, 0.94, 0.96, 0.98, 1.0];
+var last = 42;
+function genRandom(max) {
+    last = (last * 3877 + 29573) % 139968;
+    return max * last / 139968;
+}
+function selectCode(r) {
+    for (var i = 0; i < 15; i++) {
+        if (r < iubProbs[i]) return iubCodes.charAt(i);
+    }
+    return 'n';
+}
+function makeRandomFasta(n) {
+    var result = '';
+    for (var i = 0; i < n; i++)
+        result += selectCode(genRandom(1.0));
+    return result;
+}
+function makeRepeatFasta(n) {
+    var result = '';
+    var k = 0;
+    var kn = ALU.length;
+    while (n > 0) {
+        if (k == kn) k = 0;
+        result += ALU.charAt(k);
+        k++;
+        n--;
+    }
+    return result;
+}
+var seq1 = makeRepeatFasta(600);
+var seq2 = makeRandomFasta(400);
+var counts = 0;
+for (var i = 0; i < seq1.length; i++)
+    if (seq1.charAt(i) == 'G') counts++;
+for (var i = 0; i < seq2.length; i++)
+    if (seq2.charAt(i) == 'a') counts++;
+counts;
+""",
+)
+
+_DNA = BenchmarkProgram(
+    name="regexp-dna-lite",
+    category="string",
+    source="""
+var seq = '';
+var bases = 'acgt';
+var state = 7;
+for (var i = 0; i < 800; i++) {
+    state = (state * 1103515245 + 12345) & 0x7fffffff;
+    seq += bases.charAt(state % 4);
+}
+var patterns = ['agggtaaa', 'acgt', 'gttt', 'aaa', 'cgcg', 'tttt'];
+var total = 0;
+for (var p = 0; p < patterns.length; p++) {
+    var pattern = patterns[p];
+    var found = 0;
+    var at = seq.indexOf(pattern, 0);
+    while (at >= 0) {
+        found++;
+        at = seq.indexOf(pattern, at + 1);
+    }
+    total += found;
+}
+total;
+""",
+)
+
+_DATE_FORMAT = BenchmarkProgram(
+    name="date-format-xparb",
+    category="date",
+    expected_traceable=False,
+    source="""
+function pad(value) {
+    var result = '' + value;
+    if (result.length < 2) result = '0' + result;
+    return result;
+}
+function formatStamp(stamp) {
+    var hours = Math.floor(stamp / 3600) % 24;
+    var minutes = Math.floor(stamp / 60) % 60;
+    var seconds = stamp % 60;
+    // This benchmark builds its formatters with an eval-like host call,
+    // which prevents tracing (paper Section 3.1, "Aborts").
+    var seed = hostEval('(' + seconds + '+1)*1');
+    return pad(hours) + ':' + pad(minutes) + ':' + pad(seconds) + '.' + seed;
+}
+var out = '';
+for (var i = 0; i < 120; i++)
+    out = formatStamp(i * 97 + out.length);
+out.length;
+""",
+)
+
+_UNPACK = BenchmarkProgram(
+    name="string-unpack-code",
+    category="string",
+    source="""
+var packed = '';
+for (var i = 0; i < 60; i++)
+    packed += String.fromCharCode(97 + ((i * 17) % 26)) + '|';
+function unpack(data) {
+    var parts = data.split('|');
+    var out = '';
+    for (var i = 0; i < parts.length; i++) {
+        var word = parts[i];
+        if (word.length > 0)
+            out += word.toUpperCase();
+    }
+    return out;
+}
+var result = '';
+for (var round = 0; round < 10; round++)
+    result = unpack(packed);
+result.length;
+""",
+)
+
+_RAYTRACE_LITE = BenchmarkProgram(
+    name="3d-raytrace-lite",
+    category="3d",
+    source="""
+function Vector(x, y, z) {
+    this.x = x;
+    this.y = y;
+    this.z = z;
+}
+function dot(a, b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+function normalize(v) {
+    var len = Math.sqrt(dot(v, v));
+    return new Vector(v.x / len, v.y / len, v.z / len);
+}
+function sphereIntersect(cx, cy, cz, radius, ox, oy, oz, dx, dy, dz) {
+    var lx = cx - ox, ly = cy - oy, lz = cz - oz;
+    var tca = lx * dx + ly * dy + lz * dz;
+    if (tca < 0) return -1;
+    var d2 = lx * lx + ly * ly + lz * lz - tca * tca;
+    var r2 = radius * radius;
+    if (d2 > r2) return -1;
+    var thc = Math.sqrt(r2 - d2);
+    return tca - thc;
+}
+var hits = 0;
+var shade = 0;
+for (var py = 0; py < 24; py++) {
+    for (var px = 0; px < 24; px++) {
+        var dx = (px - 12) / 12;
+        var dy = (py - 12) / 12;
+        var dz = 1.0;
+        var len = Math.sqrt(dx * dx + dy * dy + dz * dz);
+        dx = dx / len; dy = dy / len; dz = dz / len;
+        var t = sphereIntersect(0, 0, 5, 2.0, 0, 0, 0, dx, dy, dz);
+        if (t > 0) {
+            hits++;
+            shade += t;
+        }
+    }
+}
+hits * 1000 + Math.floor(shade);
+""",
+)
+
+
+_CUBE = BenchmarkProgram(
+    name="3d-cube-lite",
+    category="3d",
+    source="""
+function makeCube() {
+    var points = new Array(8);
+    var idx = 0;
+    for (var x = 0; x < 2; x++)
+        for (var y = 0; y < 2; y++)
+            for (var z = 0; z < 2; z++) {
+                points[idx] = [x * 2 - 1, y * 2 - 1, z * 2 - 1];
+                idx++;
+            }
+    return points;
+}
+function rotateXY(points, angleX, angleY) {
+    var sx = Math.sin(angleX), cx = Math.cos(angleX);
+    var sy = Math.sin(angleY), cy = Math.cos(angleY);
+    for (var i = 0; i < points.length; i++) {
+        var p = points[i];
+        var y1 = p[1] * cx - p[2] * sx;
+        var z1 = p[1] * sx + p[2] * cx;
+        var x1 = p[0] * cy + z1 * sy;
+        var z2 = -p[0] * sy + z1 * cy;
+        p[0] = x1;
+        p[1] = y1;
+        p[2] = z2;
+    }
+}
+var cube = makeCube();
+var frames = 60;
+for (var f = 0; f < frames; f++)
+    rotateXY(cube, 0.05, 0.03);
+var checksum = 0;
+for (var i = 0; i < cube.length; i++)
+    checksum += cube[i][0] + cube[i][1] + cube[i][2];
+Math.floor(checksum * 1000000);
+""",
+)
+
+_TAGCLOUD = BenchmarkProgram(
+    name="string-tagcloud-lite",
+    category="string",
+    source="""
+var words = new Array(0);
+var counts = new Array(0);
+function addWord(word) {
+    for (var i = 0; i < words.length; i++) {
+        if (words[i] == word) {
+            counts[i] = counts[i] + 1;
+            return;
+        }
+    }
+    words.push(word);
+    counts.push(1);
+}
+var corpus = 'the quick brown fox jumps over the lazy dog the fox the dog ';
+var text = '';
+for (var r = 0; r < 6; r++)
+    text += corpus;
+var word = '';
+for (var i = 0; i < text.length; i++) {
+    var ch = text.charAt(i);
+    if (ch == ' ') {
+        if (word.length > 0) addWord(word);
+        word = '';
+    } else {
+        word += ch;
+    }
+}
+var markup = '';
+for (var w = 0; w < words.length; w++) {
+    var size = 8 + counts[w] * 2;
+    markup += '<span style="font-size:' + size + 'px">' + words[w] + '</span>';
+}
+markup.length;
+""",
+)
+
+_TOFTE = BenchmarkProgram(
+    name="date-format-tofte-lite",
+    category="date",
+    source="""
+var MONTHS = ['Jan', 'Feb', 'Mar', 'Apr', 'May', 'Jun',
+              'Jul', 'Aug', 'Sep', 'Oct', 'Nov', 'Dec'];
+function two(n) {
+    if (n < 10) return '0' + n;
+    return '' + n;
+}
+function formatField(kind, day, month, year, hour, minute) {
+    switch (kind) {
+        case 0: return two(day);
+        case 1: return MONTHS[month];
+        case 2: return '' + year;
+        case 3: return two(hour);
+        case 4: return two(minute);
+        default: return '?';
+    }
+}
+function format(stamp) {
+    var minute = stamp % 60;
+    var hour = (stamp / 60 | 0) % 24;
+    var day = 1 + (stamp / 1440 | 0) % 28;
+    var month = (stamp / 40320 | 0) % 12;
+    var year = 1970 + (stamp / 483840 | 0);
+    var out = '';
+    for (var field = 0; field < 5; field++) {
+        out += formatField(field, day, month, year, hour, minute);
+        if (field < 4) out += ' ';
+    }
+    return out;
+}
+var total = 0;
+for (var i = 0; i < 150; i++)
+    total += format(i * 77773).length;
+total;
+""",
+)
+
+
+PROGRAMS = [
+    _BITWISE_AND,
+    _3BIT_BITS,
+    _BITS_IN_BYTE,
+    _NSIEVE_BITS,
+    _CORDIC,
+    _PARTIAL_SUMS,
+    _SPECTRAL_NORM,
+    _MORPH,
+    _RAYTRACE_LITE,
+    _CUBE,
+    _ACCESS_NSIEVE,
+    _FANNKUCH,
+    _NBODY,
+    _BINARY_TREES,
+    _RECURSIVE,
+    _SHA1,
+    _CRC32,
+    _BASE64,
+    _VALIDATE,
+    _FASTA,
+    _DNA,
+    _UNPACK,
+    _TAGCLOUD,
+    _TOFTE,
+    _DATE_FORMAT,
+]
+
+
+def programs_by_category() -> dict:
+    table: dict = {}
+    for program in PROGRAMS:
+        table.setdefault(program.category, []).append(program)
+    return table
+
+
+def program_named(name: str) -> BenchmarkProgram:
+    for program in PROGRAMS:
+        if program.name == name:
+            return program
+    raise KeyError(name)

@@ -1,0 +1,158 @@
+"""VM facade: configuration, the baseline VM, and the tracing VM.
+
+This is the main public entry point::
+
+    from repro import TracingVM
+
+    vm = TracingVM()
+    result = vm.run("var s = 0; for (var i = 0; i < 100; ++i) s += i; s;")
+    print(result, vm.stats.summary_lines())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro import costs
+from repro.bytecode.compiler import Code, compile_program
+from repro.interp.interpreter import Interpreter
+from repro.runtime.builtins import install_globals
+from repro.runtime.values import Box
+from repro.stats import VMStats
+
+
+@dataclass
+class VMConfig:
+    """Tunables for the tracing JIT, defaulting to the paper's values.
+
+    * ``hotness_threshold=2`` — "currently after 2 crossings" (Section 2);
+    * ``blacklist_backoff=32`` and ``max_recording_failures=2`` — Section
+      3.3's back-off counter and blacklist threshold;
+    * ``exit_hotness_threshold=2`` — side exits become hot like loops do;
+    * the ``enable_*`` flags exist for the ablation benchmarks.
+    """
+
+    hotness_threshold: int = 2
+    exit_hotness_threshold: int = 2
+    blacklist_backoff: int = 32
+    max_recording_failures: int = 2
+    max_trace_length: int = 6000
+    max_inline_depth: int = 8
+    max_peer_trees: int = 12
+    max_branch_traces: int = 64
+    enable_tracing: bool = True
+    enable_nesting: bool = True
+    enable_oracle: bool = True
+    enable_stitching: bool = True
+    enable_blacklisting: bool = True
+    enable_cse: bool = True
+    enable_exprsimp: bool = True
+    enable_dse: bool = True
+    enable_dce: bool = True
+    enable_softfloat: bool = False
+    dispatch_cost: int = costs.DISPATCH
+
+
+class VM:
+    """A JSLite virtual machine.
+
+    With ``config.enable_tracing`` false this is the plain SpiderMonkey-like
+    baseline interpreter; with it true (the default) it is TraceMonkey.
+    """
+
+    def __init__(self, config: Optional[VMConfig] = None):
+        self.config = config or VMConfig()
+        self.stats = VMStats()
+        self.globals: dict = {}
+        self.output: List[str] = []
+        self.preempt_flag = False
+        self.preemptions_serviced = 0
+        self.array_prototype = None
+        self.rng = None
+        install_globals(self)
+        self.interpreter = Interpreter(self, self.config.dispatch_cost)
+        self.recorder = None
+        #: Depth of native trace execution (for reentry detection).
+        self.native_depth = 0
+        self.trace_reentered = False
+        if self.config.enable_tracing:
+            from repro.core.monitor import TraceMonitor
+
+            self.monitor = TraceMonitor(self)
+        else:
+            self.monitor = None
+
+    # -- running code -----------------------------------------------------------
+
+    def compile(self, source: str, name: str = "<program>") -> Code:
+        return compile_program(source, name)
+
+    def run(self, source: str, name: str = "<program>") -> Box:
+        """Compile and run a program; returns its completion value."""
+        return self.run_code(self.compile(source, name))
+
+    def run_code(self, code: Code) -> Box:
+        return self.interpreter.run_toplevel(code)
+
+    # -- host callbacks -----------------------------------------------------------
+
+    def reenter_call(self, fn, this_box: Box, args: List[Box]) -> Box:
+        """Reenter the interpreter from a native (Section 6.5).
+
+        If a compiled trace is currently running, set the reentry flag so
+        the trace exits right after the native call returns.
+        """
+        if self.native_depth > 0:
+            self.trace_reentered = True
+        recorder = self.recorder
+        if recorder is not None:
+            # A native re-entering the interpreter mid-recording must not
+            # feed the recorder bytecodes from the nested activation; the
+            # nested execution is subsumed by the recorded native call.
+            recorder.suspended += 1
+            try:
+                return self.interpreter.call_function(fn, this_box, args)
+            finally:
+                recorder.suspended -= 1
+        return self.interpreter.call_function(fn, this_box, args)
+
+    def request_preemption(self) -> None:
+        """Ask the VM to preempt at the next loop edge (Section 6.4)."""
+        self.preempt_flag = True
+
+    def service_preemption(self) -> None:
+        self.preempt_flag = False
+        self.preemptions_serviced += 1
+
+
+class TracingVM(VM):
+    """The TraceMonkey-equivalent VM (tracing enabled)."""
+
+    def __init__(self, config: Optional[VMConfig] = None):
+        config = config or VMConfig()
+        config.enable_tracing = True
+        super().__init__(config)
+
+
+class BaselineVM(VM):
+    """The SpiderMonkey-equivalent baseline (pure interpreter)."""
+
+    def __init__(self, config: Optional[VMConfig] = None):
+        config = config or VMConfig()
+        config.enable_tracing = False
+        super().__init__(config)
+
+
+class ThreadedVM(VM):
+    """The SquirrelFish-Extreme-like baseline: a call-threaded interpreter.
+
+    Identical semantics; the call-threading removes most of the dispatch
+    overhead (modeled by :data:`repro.costs.DISPATCH_THREADED`).
+    """
+
+    def __init__(self, config: Optional[VMConfig] = None):
+        config = config or VMConfig()
+        config.enable_tracing = False
+        config.dispatch_cost = costs.DISPATCH_THREADED
+        super().__init__(config)

@@ -1,0 +1,54 @@
+"""Shared helper utilities for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BaselineVM, ThreadedVM, TracingVM, VMConfig
+from repro.baselines.method_jit import MethodJITVM
+
+ALL_ENGINES = {
+    "baseline": BaselineVM,
+    "threaded": ThreadedVM,
+    "methodjit": MethodJITVM,
+    "tracing": TracingVM,
+}
+
+
+def run_baseline(source: str):
+    vm = BaselineVM()
+    return vm.run(source), vm
+
+
+def run_tracing(source: str, config: VMConfig = None):
+    vm = TracingVM(config)
+    return vm.run(source), vm
+
+
+def assert_engines_agree(source: str, engines=("baseline", "tracing")):
+    """Run ``source`` on several engines and assert identical results.
+
+    Returns ``{engine: vm}`` for further stats assertions.
+    """
+    vms = {}
+    results = {}
+    for name in engines:
+        vm = ALL_ENGINES[name]()
+        results[name] = repr(vm.run(source))
+        vms[name] = vm
+    reference = results[engines[0]]
+    for name, result in results.items():
+        assert result == reference, (
+            f"{name} disagrees: {result} != {reference} for program:\n{source}"
+        )
+    return vms
+
+
+@pytest.fixture
+def tracing_vm():
+    return TracingVM()
+
+
+@pytest.fixture
+def baseline_vm():
+    return BaselineVM()

@@ -1,0 +1,174 @@
+"""Unit tests for the backward filters: dead store elim + DCE."""
+
+from repro.core.exits import BRANCH, SideExit
+from repro.core.lir import LIns
+from repro.jit.backward import run_backward_filters
+
+
+def make_exit(live):
+    """A minimal SideExit observing the given (loc, type, slot) triples."""
+    return SideExit(kind=BRANCH, pc=0, frames=(), stack_depth0=0, livemap=tuple(live))
+
+
+def star(value, slot):
+    return LIns("star", (value,), slot=slot)
+
+
+class TestDeadStoreElimination:
+    def test_store_overwritten_before_any_exit_is_dead(self):
+        value = LIns("const", imm=1, type="i")
+        dead = star(value, 0)
+        live = star(value, 0)
+        loop = LIns("loop", aux=frozenset({0}))
+        lir = [value, dead, live, loop]
+        filtered, stats = run_backward_filters(lir, {0: "stack"})
+        assert dead not in filtered
+        assert live in filtered
+        assert stats.dead_stack_stores == 1
+
+    def test_store_observed_by_exit_kept(self):
+        value = LIns("const", imm=1, type="i")
+        cond = LIns("const", imm=True, type="b")
+        observed = star(value, 0)
+        exit = make_exit([(("stack", 0, 0), None, 0)])
+        guard = LIns("xf", (cond,), exit=exit)
+        rewrite = star(value, 0)
+        loop = LIns("loop", aux=frozenset())
+        lir = [value, cond, observed, guard, rewrite, loop]
+        filtered, stats = run_backward_filters(lir, {0: "stack"})
+        assert observed in filtered  # the exit can see it
+        assert rewrite not in filtered  # dead after the last observation
+
+    def test_store_never_observed_is_dead(self):
+        # "Stores to locations that are off the top of the interpreter
+        # stack at future exits are also dead."
+        value = LIns("const", imm=1, type="i")
+        scratch = star(value, 5)
+        loop = LIns("loop", aux=frozenset({0}))
+        filtered, stats = run_backward_filters(
+            [value, scratch, loop], {0: "stack", 5: "stack"}
+        )
+        assert scratch not in filtered
+
+    def test_loop_carried_store_kept(self):
+        value = LIns("const", imm=1, type="i")
+        carried = star(value, 0)
+        loop = LIns("loop", aux=frozenset({0}))
+        filtered, _stats = run_backward_filters([value, carried, loop], {0: "stack"})
+        assert carried in filtered
+
+    def test_call_stack_stores_counted_separately(self):
+        value = LIns("const", imm=1, type="i")
+        dead_local = star(value, 3)
+        live_local = star(value, 3)
+        loop = LIns("loop", aux=frozenset({3}))
+        _filtered, stats = run_backward_filters(
+            [value, dead_local, live_local, loop], {3: "call"}
+        )
+        assert stats.dead_call_stores == 1
+        assert stats.dead_stack_stores == 0
+
+    def test_global_store_live_across_guards(self):
+        # Globals are flushed at any exit, so a global store before a
+        # guard is always observable.
+        value = LIns("const", imm=1, type="i")
+        cond = LIns("const", imm=True, type="b")
+        first = star(value, -1)
+        guard = LIns("xf", (cond,), exit=make_exit([]))
+        second = star(value, -1)
+        loop = LIns("loop", aux=frozenset())
+        filtered, _stats = run_backward_filters(
+            [value, cond, first, guard, second, loop], {}
+        )
+        assert first in filtered
+        assert second in filtered
+
+    def test_global_store_shadowed_without_guard_is_dead(self):
+        value = LIns("const", imm=1, type="i")
+        first = star(value, -1)
+        second = star(value, -1)
+        loop = LIns("loop", aux=frozenset())
+        filtered, _stats = run_backward_filters([value, first, second, loop], {})
+        assert first not in filtered
+        assert second in filtered
+
+    def test_dse_disabled(self):
+        value = LIns("const", imm=1, type="i")
+        dead = star(value, 0)
+        live = star(value, 0)
+        loop = LIns("loop", aux=frozenset({0}))
+        filtered, stats = run_backward_filters(
+            [value, dead, live, loop], {0: "stack"}, enable_dse=False
+        )
+        assert dead in filtered
+        assert stats.dead_stack_stores == 0
+
+
+class TestDeadCodeElimination:
+    def test_unused_pure_value_removed(self):
+        a = LIns("const", imm=1, type="i")
+        b = LIns("const", imm=2, type="i")
+        unused = LIns("addi", (a, b), type="i")
+        loop = LIns("loop", aux=frozenset())
+        filtered, stats = run_backward_filters([a, b, unused, loop], {})
+        assert unused not in filtered
+        assert stats.dead_code >= 1
+
+    def test_transitively_dead_chain_removed(self):
+        a = LIns("const", imm=1, type="i")
+        middle = LIns("negi", (a,), type="i")
+        top = LIns("negi", (middle,), type="i")
+        loop = LIns("loop", aux=frozenset())
+        filtered, stats = run_backward_filters([a, middle, top, loop], {})
+        assert middle not in filtered
+        assert top not in filtered
+        assert a not in filtered
+        assert stats.dead_code == 3
+
+    def test_value_used_by_guard_kept(self):
+        cond = LIns("const", imm=True, type="b")
+        guard = LIns("xf", (cond,), exit=make_exit([]))
+        loop = LIns("loop", aux=frozenset())
+        filtered, _stats = run_backward_filters([cond, guard, loop], {})
+        assert cond in filtered
+
+    def test_calls_never_removed(self):
+        from repro.jit.native import CallSpec
+
+        spec = CallSpec(kind="helper", name="effectful", fn=lambda vm: None)
+        call = LIns("call", (), imm=spec, type="i")  # result unused
+        loop = LIns("loop", aux=frozenset())
+        filtered, _stats = run_backward_filters([call, loop], {})
+        assert call in filtered
+
+    def test_boxed_aux_of_guard_kept(self):
+        box = LIns("ldar", slot=0, type="x")
+        cond = LIns("const", imm=True, type="b")
+        guard = LIns("xf", (cond,), exit=make_exit([]), aux=box)
+        loop = LIns("loop", aux=frozenset())
+        filtered, _stats = run_backward_filters([box, cond, guard, loop], {0: "stack"})
+        assert box in filtered
+
+    def test_dce_disabled(self):
+        a = LIns("const", imm=1, type="i")
+        unused = LIns("negi", (a,), type="i")
+        loop = LIns("loop", aux=frozenset())
+        filtered, _stats = run_backward_filters(
+            [a, unused, loop], {}, enable_dce=False
+        )
+        assert unused in filtered
+
+
+class TestCalltreeObservation:
+    def test_calltree_keeps_mapped_stores(self):
+        from repro.core.exits import CallTreeSite
+
+        value = LIns("const", imm=1, type="i")
+        mapped = star(value, 4)
+        site = CallTreeSite(tree=None, depth=0, local_mapping=((0, 4),))
+        call = LIns("calltree", imm=site, type="i")
+        loop = LIns("loop", aux=frozenset())
+        filtered, _stats = run_backward_filters(
+            [value, mapped, call, loop], {4: "call"}
+        )
+        assert mapped in filtered

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    status = main(argv, out=out)
+    return status, out.getvalue()
+
+
+class TestBasicRuns:
+    def test_inline_eval(self):
+        status, output = run_cli(["-e", "1 + 2;"])
+        assert status == 0
+        assert output.strip() == "3"
+
+    def test_file(self, tmp_path):
+        script = tmp_path / "prog.js"
+        script.write_text("var s = 0; for (var i = 0; i < 10; i++) s += i; s;")
+        status, output = run_cli([str(script)])
+        assert status == 0
+        assert output.strip() == "45"
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["/nonexistent/prog.js"], out=io.StringIO())
+
+    def test_no_input(self):
+        with pytest.raises(SystemExit):
+            main([], out=io.StringIO())
+
+    def test_print_output_ordering(self):
+        status, output = run_cli(["-e", "print('hello'); 42;"])
+        assert output.splitlines() == ["hello", "42"]
+
+    def test_no_result_flag(self):
+        status, output = run_cli(["--no-result", "-e", "print('x'); 42;"])
+        assert output.strip() == "x"
+
+    def test_every_engine(self):
+        for engine in ("baseline", "threaded", "methodjit", "tracing"):
+            status, output = run_cli(["--engine", engine, "-e", "6 * 7;"])
+            assert status == 0
+            assert output.strip() == "42"
+
+
+class TestErrorHandling:
+    def test_syntax_error(self, capsys):
+        status, _output = run_cli(["-e", "var = ;"])
+        assert status == 1
+
+    def test_uncaught_exception(self, capsys):
+        status, _output = run_cli(["-e", "throw 'kaboom';"])
+        assert status == 1
+        assert "kaboom" in capsys.readouterr().err
+
+
+class TestDiagnostics:
+    def test_stats(self):
+        status, output = run_cli(
+            ["--stats", "-e", "var s = 0; for (var i = 0; i < 50; i++) s += i; s;"]
+        )
+        assert "total simulated cycles" in output
+        assert "trees formed" in output
+
+    def test_disasm(self):
+        status, output = run_cli(["--disasm", "-e", "var x = 1 + 2;"])
+        assert status == 0
+        assert "LOOPHEADER" not in output  # no loop here
+        assert "SETGLOBAL" in output
+
+    def test_trace_dump(self):
+        status, output = run_cli(
+            ["--trace-dump", "-e", "var s = 0; for (var i = 0; i < 50; i++) s += i; s;"]
+        )
+        assert status == 0
+        assert "=== tree" in output
+        assert "LIR:" in output
+        assert "native:" in output
+
+    def test_trace_dump_no_traces(self):
+        status, output = run_cli(["--trace-dump", "-e", "1 + 1;"])
+        assert "(no traces were compiled)" in output
+
+    def test_compare(self):
+        status, output = run_cli(
+            ["--compare", "-e", "var s = 0; for (var i = 0; i < 300; i++) s += i; s;"]
+        )
+        assert status == 0
+        for engine in ("baseline", "threaded", "methodjit", "tracing"):
+            assert engine in output
+        assert "speedup" in output

@@ -1,0 +1,257 @@
+"""Tests for code generation and register allocation (paper Section 5.2).
+
+Includes a differential property test: random LIR DAGs are executed by
+the native machine (through the register allocator, with only 8+8
+registers, forcing spills) and compared against a direct evaluation of
+the LIR with unlimited storage.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lir import LIns
+from repro.jit.codegen import RegisterAllocator, format_native, generate
+from repro.jit.native import (
+    ActivationRecord,
+    GlobalArea,
+    N_INT_REGS,
+    NativeMachine,
+)
+from repro.core.exits import LOOP, SideExit
+
+
+class _FakeTree:
+    header_pc = 0
+    iterations = 0
+
+    class fragment:
+        native = []
+        bytecount = 0
+
+
+class _Fragment:
+    def __init__(self, native):
+        self.native = native
+        self.kind = "root"
+        self.bytecount = 0
+
+
+def run_native(lir, slots, n_location_slots=8):
+    """Compile ``lir`` and run it on the machine; returns final AR slots."""
+    from repro.vm import BaselineVM
+
+    vm = BaselineVM()  # provides stats/ledger
+    native, n_spills = generate(lir, spill_base=n_location_slots)
+    ar = ActivationRecord(n_location_slots + n_spills, GlobalArea())
+    ar.slots[: len(slots)] = slots
+    machine = NativeMachine(vm, _FakeTree(), ar)
+    event = machine.run(_Fragment(native))
+    return ar.slots, event
+
+
+def final_exit(slot_count=8):
+    return SideExit(kind=LOOP, pc=0, frames=(), stack_depth0=0, livemap=tuple())
+
+
+class TestBasicCodegen:
+    def test_one_native_insn_per_simple_lir(self):
+        # Figure 4: "Most LIR instructions compile to a single x86
+        # instruction."
+        a = LIns("param", slot=0, type="i")
+        b = LIns("param", slot=1, type="i")
+        add = LIns("addi", (a, b), type="i")
+        store = LIns("star", (add,), slot=2)
+        exit_ins = LIns("x", exit=final_exit())
+        native, n_spills = generate([a, b, add, store, exit_ins], spill_base=8)
+        assert len(native) == 5
+        assert n_spills == 0
+
+    def test_execution_computes(self):
+        a = LIns("param", slot=0, type="i")
+        b = LIns("param", slot=1, type="i")
+        add = LIns("addi", (a, b), type="i")
+        store = LIns("star", (add,), slot=2)
+        exit_ins = LIns("x", exit=final_exit())
+        slots, _event = run_native([a, b, add, store, exit_ins], [20, 22, None])
+        assert slots[2] == 42
+
+    def test_guard_fuses_overflow(self):
+        a = LIns("param", slot=0, type="i")
+        add = LIns("addi", (a, a), type="i", exit=final_exit())
+        native, _ = generate([a, add], spill_base=8)
+        assert [insn.op for insn in native] == ["ldar", "addi", "govf"]
+
+    def test_compare_fuses_into_guard(self):
+        # Figure 4's ``cmp eax, Array / jne side_exit`` shape: a
+        # single-use compare and its guard become one instruction.
+        a = LIns("param", slot=0, type="i")
+        b = LIns("param", slot=1, type="i")
+        cmp_ins = LIns("lti", (a, b), type="b")
+        guard = LIns("xf", (cmp_ins,), exit=final_exit())
+        end = LIns("x", exit=final_exit())
+        native, _ = generate([a, b, cmp_ins, guard, end], spill_base=8)
+        assert [insn.op for insn in native] == ["ldar", "ldar", "gcmp", "x"]
+
+    def test_multi_use_compare_not_fused(self):
+        a = LIns("param", slot=0, type="i")
+        b = LIns("param", slot=1, type="i")
+        cmp_ins = LIns("lti", (a, b), type="b")
+        guard = LIns("xf", (cmp_ins,), exit=final_exit())
+        keep = LIns("star", (cmp_ins,), slot=2)  # second use
+        end = LIns("x", exit=final_exit())
+        native, _ = generate([a, b, cmp_ins, guard, keep, end], spill_base=8)
+        ops = [insn.op for insn in native]
+        assert "gcmp" not in ops
+        assert "lti" in ops and "xf" in ops
+
+    def test_fused_guard_execution(self):
+        a = LIns("param", slot=0, type="i")
+        b = LIns("param", slot=1, type="i")
+        cmp_ins = LIns("lti", (a, b), type="b")
+        exit_taken = final_exit()
+        guard = LIns("xf", (cmp_ins,), exit=exit_taken)
+        store = LIns("star", (a,), slot=2)
+        end = LIns("x", exit=final_exit())
+        lir = [a, b, cmp_ins, guard, store, end]
+        # a < b: guard passes, store runs.
+        slots, event = run_native(lir, [1, 2, None])
+        assert slots[2] == 1
+        assert event.exit is not exit_taken
+        # a >= b: guard fires.
+        slots, event = run_native(lir, [5, 2, None])
+        assert slots[2] is None
+        assert event.exit is exit_taken
+
+    def test_unused_const_skipped(self):
+        unused = LIns("const", imm=5, type="i")
+        exit_ins = LIns("x", exit=final_exit())
+        native, _ = generate([unused, exit_ins], spill_base=8)
+        assert [insn.op for insn in native] == ["x"]
+
+    def test_format_native_is_readable(self):
+        a = LIns("param", slot=0, type="i")
+        exit_ins = LIns("x", exit=final_exit())
+        native, _ = generate([a, LIns("star", (a,), slot=1), exit_ins], spill_base=8)
+        text = format_native(native)
+        assert "ldar" in text and "star" in text
+
+
+class TestRegisterPressure:
+    def test_spills_when_pressure_exceeds_registers(self):
+        """Keep N_INT_REGS+4 values live simultaneously -> must spill."""
+        live = [LIns("param", slot=index, type="i") for index in range(N_INT_REGS + 4)]
+        lir = list(live)
+        total = live[0]
+        for value in live[1:]:
+            total = LIns("addi", (total, value), type="i")
+            lir.append(total)
+        lir.append(LIns("star", (total,), slot=20))
+        lir.append(LIns("x", exit=final_exit()))
+        native, n_spills = generate(lir, spill_base=32)
+        assert n_spills > 0
+        slots, _event = run_native(lir, list(range(1, N_INT_REGS + 5)), 32)
+        assert slots[20] == sum(range(1, N_INT_REGS + 5))
+
+    def test_float_and_int_files_independent(self):
+        ints = [LIns("param", slot=index, type="i") for index in range(N_INT_REGS)]
+        floats = [
+            LIns("param", slot=N_INT_REGS + index, type="d") for index in range(4)
+        ]
+        lir = ints + floats
+        isum = ints[0]
+        for value in ints[1:]:
+            isum = LIns("addi", (isum, value), type="i")
+            lir.append(isum)
+        fsum = floats[0]
+        for value in floats[1:]:
+            fsum = LIns("addd", (fsum, value), type="d")
+            lir.append(fsum)
+        lir.append(LIns("star", (isum,), slot=20))
+        lir.append(LIns("star", (fsum,), slot=21))
+        lir.append(LIns("x", exit=final_exit()))
+        native, n_spills = generate(lir, spill_base=32)
+        assert n_spills == 0  # separate files: no pressure
+        values = list(range(N_INT_REGS)) + [0.5 * i for i in range(4)]
+        slots, _event = run_native(lir, values, 32)
+        assert slots[20] == sum(range(N_INT_REGS))
+        assert slots[21] == sum(0.5 * i for i in range(4))
+
+
+# -- differential property test ---------------------------------------------
+
+
+def eval_lir(lir, slots):
+    """Reference evaluator: unlimited virtual registers."""
+    env = {}
+    memory = list(slots) + [None] * 64
+    for ins in lir:
+        op = ins.op
+        if op == "param":
+            env[ins.ins_id] = memory[ins.slot]
+        elif op == "const":
+            env[ins.ins_id] = ins.imm
+        elif op == "addi":
+            env[ins.ins_id] = env[ins.args[0].ins_id] + env[ins.args[1].ins_id]
+        elif op == "subi":
+            env[ins.ins_id] = env[ins.args[0].ins_id] - env[ins.args[1].ins_id]
+        elif op == "muli":
+            env[ins.ins_id] = env[ins.args[0].ins_id] * env[ins.args[1].ins_id]
+        elif op == "negi":
+            env[ins.ins_id] = -env[ins.args[0].ins_id]
+        elif op == "star":
+            memory[ins.slot] = env[ins.args[0].ins_id]
+        elif op == "x":
+            break
+        else:
+            raise AssertionError(f"unhandled {op}")
+    return memory
+
+
+@st.composite
+def lir_programs(draw):
+    """Random straight-line int LIR with enough live values to spill."""
+    n_params = draw(st.integers(min_value=1, max_value=6))
+    params = [LIns("param", slot=index, type="i") for index in range(n_params)]
+    values = list(params)
+    lir = list(params)
+    n_ops = draw(st.integers(min_value=1, max_value=40))
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["addi", "subi", "muli", "negi", "const", "star"]))
+        if kind == "const":
+            ins = LIns("const", imm=draw(st.integers(-100, 100)), type="i")
+            values.append(ins)
+        elif kind == "negi":
+            ins = LIns("negi", (draw(st.sampled_from(values)),), type="i")
+            values.append(ins)
+        elif kind == "star":
+            source = draw(st.sampled_from(values))
+            ins = LIns("star", (source,), slot=draw(st.integers(8, 20)))
+        else:
+            left = draw(st.sampled_from(values))
+            right = draw(st.sampled_from(values))
+            ins = LIns(kind, (left, right), type="i")
+            values.append(ins)
+        lir.append(ins)
+    # Store every live value so results are observable.
+    for offset, value in enumerate(values[-8:]):
+        lir.append(LIns("star", (value,), slot=21 + offset))
+    lir.append(LIns("x", exit=final_exit()))
+    inputs = draw(
+        st.lists(
+            st.integers(-50, 50), min_size=n_params, max_size=n_params
+        )
+    )
+    return lir, inputs
+
+
+@given(lir_programs())
+@settings(max_examples=120, deadline=None)
+def test_regalloc_matches_reference_evaluator(program):
+    """The machine (8 registers, spilling) computes exactly what an
+    unlimited-register evaluation of the same LIR computes."""
+    lir, inputs = program
+    expected = eval_lir(lir, inputs)
+    slots, _event = run_native(lir, inputs, n_location_slots=32)
+    assert slots[21:29] == expected[21:29]
+    assert slots[8:21] == expected[8:21]

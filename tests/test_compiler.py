@@ -1,0 +1,144 @@
+"""Unit tests for the bytecode compiler (loop structure is load-bearing
+for the tracer, so it gets explicit coverage)."""
+
+import pytest
+
+from repro.bytecode import opcodes as op
+from repro.bytecode.compiler import compile_program
+from repro.bytecode.disasm import disassemble
+from repro.errors import CompileError
+
+
+def ops_of(code):
+    return [insn[0] for insn in code.insns]
+
+
+class TestLoopStructure:
+    def test_loop_header_emitted(self):
+        code = compile_program("for (var i = 0; i < 3; i++) ;")
+        assert op.LOOPHEADER in ops_of(code)
+
+    def test_loop_info_range_covers_backedge(self):
+        code = compile_program("for (var i = 0; i < 3; i++) i;")
+        loop = code.loops[0]
+        assert code.insns[loop.header_pc][0] == op.LOOPHEADER
+        backward_jumps = [
+            pc
+            for pc, (opcode, arg) in enumerate(code.insns)
+            if opcode == op.JUMP and arg is not None and arg <= pc
+        ]
+        assert backward_jumps
+        for pc in backward_jumps:
+            assert loop.contains_pc(pc)
+            assert code.insns[pc][1] == loop.header_pc
+
+    def test_nested_loop_parenting(self):
+        code = compile_program(
+            "for (var i = 0; i < 2; i++) { for (var j = 0; j < 2; j++) ; }"
+        )
+        assert len(code.loops) == 2
+        outer, inner = code.loops
+        assert inner.parent == outer.loop_id
+        assert inner.depth == outer.depth + 1
+        assert outer.encloses(inner)
+        assert not inner.encloses(outer)
+
+    def test_while_and_do_while_have_headers(self):
+        code = compile_program("var i = 0; while (i < 3) i++; do i--; while (i > 0);")
+        assert len(code.loops) == 2
+
+    def test_do_while_backedge_is_conditional(self):
+        code = compile_program("var i = 0; do i++; while (i < 3);")
+        loop = code.loops[0]
+        conditional_back = [
+            pc
+            for pc, (opcode, arg) in enumerate(code.insns)
+            if opcode == op.IFTRUE and arg == loop.header_pc
+        ]
+        assert conditional_back
+
+    def test_innermost_loop_containing(self):
+        code = compile_program(
+            "for (var i = 0; i < 2; i++) { for (var j = 0; j < 2; j++) j; i; }"
+        )
+        outer, inner = code.loops
+        mid_inner_pc = inner.header_pc + 1
+        assert code.innermost_loop_containing(mid_inner_pc) is inner
+
+    def test_blacklist_patches_header(self):
+        code = compile_program("for (var i = 0; i < 2; i++) ;")
+        header = code.loops[0].header_pc
+        code.blacklist_header(header)
+        assert code.insns[header][0] == op.NOP
+        assert header in code.blacklisted_headers
+
+
+class TestScoping:
+    def test_toplevel_vars_are_globals(self):
+        code = compile_program("var x = 1; x;")
+        assert op.SETGLOBAL in ops_of(code)
+        assert op.SETLOCAL not in ops_of(code)
+
+    def test_function_vars_are_locals(self):
+        code = compile_program("function f() { var x = 1; return x; }")
+        fn_box = code.consts[0]
+        fn_code = fn_box.payload.code
+        assert op.SETLOCAL in ops_of(fn_code)
+        assert "x" in fn_code.local_names
+
+    def test_params_are_locals(self):
+        code = compile_program("function f(a, b) { return a + b; }")
+        fn_code = code.consts[0].payload.code
+        assert fn_code.local_names[:2] == ["a", "b"]
+
+    def test_undeclared_assignment_is_global(self):
+        code = compile_program("function f() { g = 1; }")
+        fn_code = code.consts[0].payload.code
+        assert op.SETGLOBAL in ops_of(fn_code)
+
+    def test_hoisting(self):
+        code = compile_program("function f() { x = 1; var x; return x; }")
+        fn_code = code.consts[0].payload.code
+        assert op.SETGLOBAL not in ops_of(fn_code)
+
+
+class TestBreakContinue:
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError):
+            compile_program("break;")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(CompileError):
+            compile_program("continue;")
+
+    def test_return_at_toplevel(self):
+        with pytest.raises(CompileError):
+            compile_program("return 1;")
+
+
+class TestConstPools:
+    def test_consts_deduplicated(self):
+        code = compile_program("var a = 3.5; var b = 3.5;")
+        values = [box.payload for box in code.consts]
+        assert values.count(3.5) == 1
+
+    def test_zero_one_fast_opcodes(self):
+        code = compile_program("var a = 0; var b = 1;")
+        assert op.ZERO in ops_of(code)
+        assert op.ONE in ops_of(code)
+
+    def test_function_consts_never_deduplicated(self):
+        code = compile_program(
+            "var a = function () { return 1; }; var b = function () { return 1; };"
+        )
+        fns = [box for box in code.consts if getattr(box.payload, "is_callable", False)]
+        assert len(fns) == 2
+
+
+class TestDisassembler:
+    def test_disassemble_mentions_names(self):
+        code = compile_program("var total = 0; for (var i = 0; i < 3; i++) total += i;")
+        text = disassemble(code)
+        assert "LOOPHEADER" in text
+        assert "'total'" in text
+        assert "backward (loop edge)" in text

@@ -1,0 +1,125 @@
+"""Unit + property tests for ECMA conversions."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.runtime import conversions
+from repro.runtime.values import (
+    FALSE,
+    NULL,
+    TRUE,
+    UNDEFINED,
+    make_double,
+    make_number,
+    make_object,
+    make_string,
+)
+from repro.runtime.objects import JSArray, JSObject
+
+
+class TestToBoolean:
+    def test_falsy(self):
+        for box in (
+            make_number(0),
+            make_double(-0.0),
+            make_double(math.nan),
+            make_string(""),
+            NULL,
+            UNDEFINED,
+            FALSE,
+        ):
+            assert not conversions.to_boolean(box)
+
+    def test_truthy(self):
+        for box in (
+            make_number(1),
+            make_number(-1),
+            make_double(0.5),
+            make_string("0"),
+            make_object(JSObject()),
+            TRUE,
+        ):
+            assert conversions.to_boolean(box)
+
+
+class TestToNumber:
+    def test_primitives(self):
+        assert conversions.to_number(make_number(3)) == 3
+        assert conversions.to_number(TRUE) == 1
+        assert conversions.to_number(FALSE) == 0
+        assert conversions.to_number(NULL) == 0
+        assert math.isnan(conversions.to_number(UNDEFINED))
+
+    def test_strings(self):
+        assert conversions.to_number(make_string("42")) == 42
+        assert conversions.to_number(make_string("  3.5 ")) == 3.5
+        assert conversions.to_number(make_string("")) == 0
+        assert conversions.to_number(make_string("0x10")) == 16
+        assert conversions.to_number(make_string("1e2")) == 100.0
+        assert math.isnan(conversions.to_number(make_string("abc")))
+        assert conversions.to_number(make_string("Infinity")) == math.inf
+        assert conversions.to_number(make_string("-Infinity")) == -math.inf
+
+
+class TestToInt32:
+    def test_wrapping(self):
+        assert conversions.to_int32(2**31) == -(2**31)
+        assert conversions.to_int32(2**32) == 0
+        assert conversions.to_int32(-(2**31) - 1) == 2**31 - 1
+
+    def test_truncation_toward_zero(self):
+        assert conversions.to_int32(3.7) == 3
+        assert conversions.to_int32(-3.7) == -3
+
+    def test_special_values(self):
+        assert conversions.to_int32(math.nan) == 0
+        assert conversions.to_int32(math.inf) == 0
+        assert conversions.to_int32(-math.inf) == 0
+
+    def test_uint32(self):
+        assert conversions.to_uint32(-1) == 2**32 - 1
+        assert conversions.to_uint32(2**32 + 5) == 5
+
+
+class TestToString:
+    def test_numbers(self):
+        assert conversions.to_string(make_number(3)) == "3"
+        assert conversions.to_string(make_double(3.5)) == "3.5"
+        assert conversions.to_string(make_double(math.nan)) == "NaN"
+        assert conversions.to_string(make_double(math.inf)) == "Infinity"
+        assert conversions.to_string(make_double(4.0)) == "4"
+
+    def test_specials(self):
+        assert conversions.to_string(NULL) == "null"
+        assert conversions.to_string(UNDEFINED) == "undefined"
+        assert conversions.to_string(TRUE) == "true"
+
+    def test_array_joins_like_js(self):
+        arr = JSArray()
+        arr.set_element(0, make_number(1))
+        arr.set_element(1, NULL)
+        arr.set_element(2, make_string("x"))
+        assert conversions.to_string(make_object(arr)) == "1,,x"
+
+    def test_plain_object(self):
+        assert conversions.to_string(make_object(JSObject())) == "[object Object]"
+
+
+@given(st.integers(min_value=-(2**40), max_value=2**40))
+def test_to_int32_matches_ecma_formula(value):
+    result = conversions.to_int32(value)
+    assert -(2**31) <= result <= 2**31 - 1
+    assert (result - value) % (2**32) == 0
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, min_value=-1e15, max_value=1e15))
+def test_to_int32_float_matches_int_of_trunc(value):
+    assert conversions.to_int32(value) == conversions.to_int32(int(value))
+
+
+@given(st.integers(min_value=-(2**40), max_value=2**40))
+def test_uint32_range(value):
+    result = conversions.to_uint32(value)
+    assert 0 <= result < 2**32
+    assert (result - value) % (2**32) == 0

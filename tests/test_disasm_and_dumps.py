@@ -1,0 +1,94 @@
+"""Coverage for the human-readable dumps: bytecode disassembly, LIR
+formatting, native formatting, typemap description."""
+
+from repro import TracingVM
+from repro.bytecode.compiler import compile_program
+from repro.bytecode.disasm import disassemble
+from repro.core.lir import LIns, format_trace
+from repro.jit.codegen import format_native
+from repro.jit.native import NativeInsn
+
+
+class TestDisassembler:
+    def test_every_opcode_category_renders(self):
+        code = compile_program(
+            """
+            var o = {x: 1};
+            var a = [1, 2];
+            function f(n) { return n; }
+            for (var i = 0; i < 3; i++) {
+                o.x += a[i % 2] + f(i);
+                switch (i) { case 1: break; }
+            }
+            try { throw 1; } catch (e) { delete o.x; }
+            for (var k in o) ;
+            typeof o;
+            """
+        )
+        text = disassemble(code)
+        for expected in ("LOOPHEADER", "GETPROP", "GETELEM", "CALL",
+                         "TRYPUSH", "THROW", "DELPROP", "ITERKEYS", "TYPEOF"):
+            assert expected in text, expected
+
+    def test_jump_targets_annotated(self):
+        code = compile_program("for (var i = 0; i < 3; i++) ;")
+        assert "backward (loop edge)" in disassemble(code)
+
+    def test_loop_header_shows_range(self):
+        code = compile_program("for (var i = 0; i < 3; i++) ;")
+        assert "range=[" in disassemble(code)
+
+
+class TestLIRFormatting:
+    def test_format_trace_lines(self):
+        a = LIns("param", slot=0, type="i")
+        b = LIns("addi", (a, a), type="i")
+        text = format_trace([a, b])
+        assert f"v{a.ins_id}=param" in text
+        assert f"v{b.ins_id}=addi" in text
+        assert ": i" in text
+
+    def test_long_imm_truncated(self):
+        ins = LIns("const", imm="x" * 100, type="s")
+        assert "..." in repr(ins)
+
+    def test_exit_reference_rendered(self):
+        class FakeExit:
+            exit_id = 99
+
+        ins = LIns("xf", (LIns("const", imm=True, type="b"),), exit=FakeExit())
+        assert "exit99" in repr(ins)
+
+
+class TestNativeFormatting:
+    def test_register_names(self):
+        insns = [
+            NativeInsn("ldar", dst=0, imm=3),
+            NativeInsn("i2d", dst=8, a=0),
+            NativeInsn("star", a=8, imm=-2),
+        ]
+        text = format_native(insns)
+        assert "r0" in text
+        assert "f0" in text
+        assert "#-2" in text
+
+    def test_call_srcs_rendered(self):
+        insn = NativeInsn("call", dst=1, srcs=[2, 3], aux=None)
+        assert "(r2, r3)" in repr(insn)
+
+
+class TestEndToEndDumps:
+    def test_trace_dump_of_real_program(self):
+        vm = TracingVM()
+        vm.run(
+            "var o = {x: 2}; var s = 0;"
+            "for (var i = 0; i < 60; i++) s += o.x * i;"
+            "s;"
+        )
+        trees = [t for peers in vm.monitor.trees.values() for t in peers]
+        assert trees
+        for tree in trees:
+            lir_text = format_trace(tree.fragment.lir)
+            native_text = format_native(tree.fragment.native)
+            assert "ldshape" in lir_text
+            assert "gcmp" in native_text or "xf" in native_text

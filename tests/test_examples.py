@@ -1,0 +1,44 @@
+"""The example scripts must run end-to-end (they are documentation)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"),
+    key=lambda path: path.name,
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    if script.name == "compare_vms.py":
+        # The full-suite comparison is exercised by the benchmarks; run
+        # it here on a small subset to keep the test fast.
+        args = [sys.executable, str(script), "bitops-bitwise-and", "math-cordic"]
+    else:
+        args = [sys.executable, str(script)]
+    completed = subprocess.run(
+        args, capture_output=True, text=True, timeout=600
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()
+
+
+def test_quickstart_reports_speedup():
+    script = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    completed = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=600
+    )
+    assert "speedup" in completed.stdout
+
+
+def test_sieve_walkthrough_shows_lir_and_native():
+    script = next(p for p in EXAMPLES if p.name == "sieve_walkthrough.py")
+    completed = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=600
+    )
+    assert "js_Array_set" in completed.stdout  # the Figure 3 call
+    assert "native code" in completed.stdout

@@ -1,0 +1,111 @@
+"""Tests for ``for..in`` (parser, semantics, all engines)."""
+
+import pytest
+
+from repro import BaselineVM
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+from tests.helpers import assert_engines_agree
+
+
+def value(source):
+    return BaselineVM().run(source).payload
+
+
+class TestParsing:
+    def test_var_form(self):
+        stmt = parse("for (var k in o) ;").body[0]
+        assert isinstance(stmt, ast.ForInStmt)
+        assert stmt.var_name == "k"
+        assert stmt.is_declaration
+
+    def test_bare_form(self):
+        stmt = parse("for (k in o) ;").body[0]
+        assert isinstance(stmt, ast.ForInStmt)
+        assert not stmt.is_declaration
+
+    def test_ordinary_for_still_parses(self):
+        stmt = parse("for (var i = 0; i < 2; i++) ;").body[0]
+        assert isinstance(stmt, ast.ForStmt)
+
+
+class TestSemantics:
+    def test_object_keys_in_insertion_order(self):
+        assert value(
+            "var o = {b: 1, a: 2, c: 3}; var s = ''; for (var k in o) s += k; s;"
+        ) == "bac"
+
+    def test_values_via_computed_access(self):
+        assert value(
+            "var o = {x: 10, y: 20}; var t = 0; for (var k in o) t += o[k]; t;"
+        ) == 30
+
+    def test_array_indices_are_strings(self):
+        assert value(
+            "var a = [7, 8, 9]; var s = ''; for (var i in a) s += i; s;"
+        ) == "012"
+
+    def test_array_holes_skipped(self):
+        assert value(
+            "var a = []; a[0] = 1; a[3] = 2; var s = ''; for (var i in a) s += i; s;"
+        ) == "03"
+
+    def test_string_indices(self):
+        assert value("var s = ''; for (var i in 'abc') s += i; s;") == "012"
+
+    def test_null_and_undefined_iterate_zero_times(self):
+        assert value("var n = 0; for (var k in null) n++; n;") == 0
+        assert value("var n = 0; for (var k in undefined) n++; n;") == 0
+
+    def test_break_and_continue(self):
+        assert value(
+            "var o = {a: 1, b: 2, c: 3, d: 4};"
+            "var s = '';"
+            "for (var k in o) { if (k == 'b') continue; if (k == 'd') break; s += k; }"
+            "s;"
+        ) == "ac"
+
+    def test_snapshot_semantics(self):
+        # Keys added during iteration are not visited (we snapshot).
+        assert value(
+            "var o = {a: 1}; var n = 0;"
+            "for (var k in o) { o.added = 2; n++; }"
+            "n;"
+        ) == 1
+
+    def test_bare_form_assigns_global(self):
+        assert value("var o = {only: 1}; for (k in o) ; k;") == "only"
+
+    def test_nested_for_in(self):
+        assert value(
+            "var outer = {a: 1, b: 2}; var inner = {x: 1, y: 2};"
+            "var s = '';"
+            "for (var p in outer) for (var q in inner) s += p + q;"
+            "s;"
+        ) == "axaybxby"
+
+
+ENGINE_PROGRAMS = [
+    "var o = {a: 1, b: 2, c: 3}; var t = 0; for (var k in o) t += o[k]; t;",
+    "var a = [5, 6, 7, 8]; var s = ''; for (var i in a) s += a[i]; s;",
+    "var words = {alpha: 3, beta: 5}; var total = 0;"
+    "for (var r = 0; r < 30; r++) { for (var w in words) total += words[w]; }"
+    "total;",
+]
+
+
+@pytest.mark.parametrize("source", ENGINE_PROGRAMS)
+def test_forin_all_engines(source):
+    assert_engines_agree(source, ("baseline", "threaded", "methodjit", "tracing"))
+
+
+def test_forin_loop_is_untraceable_but_correct():
+    from tests.helpers import run_tracing
+
+    _r, vm = run_tracing(
+        "var o = {a: 1, b: 2}; var t = 0;"
+        "for (var r = 0; r < 40; r++) { for (var k in o) t += o[k]; }"
+        "t;"
+    )
+    reasons = vm.stats.tracing.abort_reasons
+    assert "iterkeys-on-trace" in reasons or "generic-getelem" in reasons

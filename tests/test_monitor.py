@@ -1,0 +1,111 @@
+"""Tests for the trace monitor: hotness, the trace cache, peer trees,
+exit handling, and cross-loop behaviour."""
+
+from repro import TracingVM, VMConfig
+from tests.helpers import run_tracing
+
+
+class TestHotness:
+    def test_cold_loop_never_recorded(self):
+        # A loop body that never runs crosses the header only once.
+        _r, vm = run_tracing("for (var i = 0; i < 0; i++) ;")
+        assert vm.stats.tracing.recordings_started == 0
+
+    def test_loop_becomes_hot_at_threshold(self):
+        # Threshold 2: the second header execution starts recording
+        # (paper Section 2: "the second crossing occurs immediately
+        # after the first iteration").
+        _r, vm = run_tracing("for (var i = 0; i < 3; i++) ;")
+        assert vm.stats.tracing.recordings_started == 1
+
+    def test_custom_threshold(self):
+        _r, vm = run_tracing(
+            "for (var i = 0; i < 6; i++) ;", VMConfig(hotness_threshold=10)
+        )
+        assert vm.stats.tracing.recordings_started == 0
+
+
+class TestTraceCache:
+    def test_separate_loops_get_separate_trees(self):
+        _r, vm = run_tracing(
+            "var s = 0;"
+            "for (var i = 0; i < 30; i++) s += i;"
+            "for (var j = 0; j < 30; j++) s -= j;"
+            "s;"
+        )
+        assert vm.stats.tracing.trees_formed == 2
+
+    def test_same_code_reused_across_calls(self):
+        # One loop in a function called twice: a single tree serves both.
+        _r, vm = run_tracing(
+            "function sum(n) { var s = 0; for (var i = 0; i < n; i++) s += i; return s; }"
+            "sum(40) + sum(40);"
+        )
+        assert vm.stats.tracing.trees_formed == 1
+        assert vm.stats.tracing.trace_entries >= 2
+
+    def test_peer_trees_by_typemap(self):
+        # The same loop entered with int and with double arguments
+        # needs two type-specialized trees (peers).
+        _r, vm = run_tracing(
+            "function sum(x) { var s = x; for (var i = 0; i < 40; i++) s += x; return s; }"
+            "sum(1) + sum(0.5);"
+        )
+        assert vm.stats.tracing.trees_formed == 2
+
+    def test_max_peer_trees_capped(self):
+        config = VMConfig(max_peer_trees=1)
+        _r, vm = run_tracing(
+            "function sum(x) { var s = x; for (var i = 0; i < 40; i++) s += x; return s; }"
+            "sum(1) + sum(0.5) + sum('a').length;",
+            config,
+        )
+        assert vm.stats.tracing.trees_formed <= 1
+
+
+class TestMonitorCosts:
+    def test_monitor_time_small_for_hot_loops(self):
+        # Section 6.3: "the total time spent in the monitor is usually
+        # less than 5%".
+        _r, vm = run_tracing("var s = 0; for (var i = 0; i < 5000; i++) s += i; s;")
+        assert vm.stats.time_breakdown()["monitor"] < 0.05
+
+    def test_native_dominates_hot_loops(self):
+        _r, vm = run_tracing("var s = 0; for (var i = 0; i < 5000; i++) s += i; s;")
+        assert vm.stats.time_breakdown()["native"] > 0.5
+
+
+class TestGlobalSlots:
+    def test_global_slots_are_vm_wide(self):
+        vm = TracingVM()
+        vm.run("var x = 0; for (var i = 0; i < 30; i++) x += i;")
+        slot_first = vm.monitor.global_slot("x")
+        vm.run("for (var j = 0; j < 30; j++) x += j;")
+        assert vm.monitor.global_slot("x") == slot_first
+
+    def test_global_names_registry(self):
+        vm = TracingVM()
+        slot = vm.monitor.global_slot("alpha")
+        assert vm.monitor.global_names[slot] == "alpha"
+
+
+class TestVMReuse:
+    def test_second_run_reuses_compiled_traces(self):
+        vm = TracingVM()
+        vm.run("var s = 0; for (var i = 0; i < 50; i++) s += i;")
+        recordings_first = vm.stats.tracing.recordings_started
+        code = vm.compile("var t = 0; for (var i = 0; i < 50; i++) t += i;")
+        vm.run_code(code)
+        vm.run_code(code)  # same Code object: the tree is cached
+        assert vm.stats.tracing.recordings_started <= recordings_first + 2
+
+    def test_run_after_exception_recovers(self):
+        import pytest
+
+        from repro.errors import JSThrow
+
+        vm = TracingVM()
+        with pytest.raises(JSThrow):
+            vm.run("throw 'x';")
+        assert vm.run("1 + 1;").payload == 2
+        assert vm.recorder is None

@@ -1,0 +1,112 @@
+"""Unit tests for the oracle and the blacklist (paper Sections 3.2/3.3/4.2)."""
+
+from repro.core.blacklist import Blacklist
+from repro.core.oracle import Oracle
+
+
+class FakeCode:
+    pass
+
+
+class TestOracle:
+    def test_mark_and_query(self):
+        oracle = Oracle()
+        key = oracle.global_key("x")
+        assert not oracle.should_demote(key)
+        oracle.mark_double(key)
+        assert oracle.should_demote(key)
+
+    def test_local_keys_distinct_per_code(self):
+        oracle = Oracle()
+        code_a, code_b = FakeCode(), FakeCode()
+        oracle.mark_double(oracle.local_key(code_a, 0))
+        assert oracle.should_demote(oracle.local_key(code_a, 0))
+        assert not oracle.should_demote(oracle.local_key(code_b, 0))
+        assert not oracle.should_demote(oracle.local_key(code_a, 1))
+
+    def test_marks_counted_once(self):
+        oracle = Oracle()
+        key = oracle.global_key("x")
+        oracle.mark_double(key)
+        oracle.mark_double(key)
+        assert oracle.marks == 1
+
+    def test_disabled_oracle_never_demotes(self):
+        oracle = Oracle(enabled=False)
+        key = oracle.global_key("x")
+        oracle.mark_double(key)
+        assert not oracle.should_demote(key)
+
+    def test_clear(self):
+        oracle = Oracle()
+        key = oracle.global_key("x")
+        oracle.mark_double(key)
+        oracle.clear()
+        assert not oracle.should_demote(key)
+
+
+class TestBlacklist:
+    def test_allows_until_failures(self):
+        blacklist = Blacklist(backoff=4, max_failures=2)
+        code = FakeCode()
+        assert blacklist.allows_recording(code, 10)
+        assert not blacklist.note_failure(code, 10)  # failure 1: backoff
+        for _ in range(4):
+            assert not blacklist.allows_recording(code, 10)
+        assert blacklist.allows_recording(code, 10)  # backoff expired
+        assert blacklist.note_failure(code, 10)  # failure 2: blacklisted
+        assert not blacklist.allows_recording(code, 10)
+
+    def test_backoff_counts_down_per_query(self):
+        blacklist = Blacklist(backoff=2, max_failures=5)
+        code = FakeCode()
+        blacklist.note_failure(code, 0)
+        assert not blacklist.allows_recording(code, 0)
+        assert not blacklist.allows_recording(code, 0)
+        assert blacklist.allows_recording(code, 0)
+
+    def test_headers_independent(self):
+        blacklist = Blacklist(backoff=4, max_failures=1)
+        code = FakeCode()
+        blacklist.note_failure(code, 10)
+        assert not blacklist.allows_recording(code, 10)
+        assert blacklist.allows_recording(code, 20)
+
+    def test_disabled_blacklist_always_allows(self):
+        blacklist = Blacklist(enabled=False)
+        code = FakeCode()
+        for _ in range(10):
+            blacklist.note_failure(code, 0)
+        assert blacklist.allows_recording(code, 0)
+
+    def test_nesting_forgiveness(self):
+        # Section 4.2: outer aborts on a not-ready inner tree are undone
+        # when the inner tree completes a trace.
+        blacklist = Blacklist(backoff=32, max_failures=2)
+        outer, inner = FakeCode(), FakeCode()
+        inner_key = Blacklist.key(inner, 5)
+        blacklist.note_failure(outer, 1, inner_key=inner_key)
+        assert not blacklist.allows_recording(outer, 1)  # backed off
+        forgiven = blacklist.note_inner_success(inner, 5)
+        assert forgiven == [Blacklist.key(outer, 1)]
+        record = blacklist.record_for(outer, 1)
+        assert record.failures == 0
+        assert record.backoff_remaining == 0
+        assert blacklist.allows_recording(outer, 1)
+
+    def test_forgiveness_does_not_resurrect_blacklisted(self):
+        blacklist = Blacklist(backoff=1, max_failures=1)
+        outer, inner = FakeCode(), FakeCode()
+        inner_key = Blacklist.key(inner, 5)
+        blacklist.note_failure(outer, 1, inner_key=inner_key)  # blacklists
+        assert blacklist.record_for(outer, 1).blacklisted
+        blacklist.note_inner_success(inner, 5)
+        assert not blacklist.allows_recording(outer, 1)
+
+    def test_forgiveness_fires_once(self):
+        blacklist = Blacklist(backoff=32, max_failures=3)
+        outer, inner = FakeCode(), FakeCode()
+        inner_key = Blacklist.key(inner, 5)
+        blacklist.note_failure(outer, 1, inner_key=inner_key)
+        assert blacklist.note_inner_success(inner, 5)
+        assert blacklist.note_inner_success(inner, 5) == []

@@ -1,0 +1,210 @@
+"""Unit tests for the JSLite parser."""
+
+import pytest
+
+from repro.errors import JSLiteSyntaxError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+
+
+def first_stmt(source):
+    return parse(source).body[0]
+
+
+def expr_of(source):
+    stmt = first_stmt(source)
+    assert isinstance(stmt, ast.ExpressionStmt)
+    return stmt.expression
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        node = expr_of("1 + 2 * 3;")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_parentheses(self):
+        node = expr_of("(1 + 2) * 3;")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_shift_vs_relational(self):
+        node = expr_of("a << 2 < b;")
+        assert node.op == "<"
+        assert node.left.op == "<<"
+
+    def test_bitand_vs_equality(self):
+        # JS quirk: == binds tighter than &.
+        node = expr_of("a & b == c;")
+        assert node.op == "&"
+        assert node.right.op == "=="
+
+    def test_logical_or_lowest(self):
+        node = expr_of("a && b || c && d;")
+        assert isinstance(node, ast.LogicalExpr)
+        assert node.op == "||"
+        assert node.left.op == "&&"
+
+    def test_unary_binds_tightest(self):
+        node = expr_of("-a * b;")
+        assert node.op == "*"
+        assert isinstance(node.left, ast.UnaryExpr)
+
+    def test_right_associative_assignment(self):
+        node = expr_of("a = b = 1;")
+        assert isinstance(node, ast.AssignExpr)
+        assert isinstance(node.value, ast.AssignExpr)
+
+    def test_ternary(self):
+        node = expr_of("a ? b : c ? d : e;")
+        assert isinstance(node, ast.ConditionalExpr)
+        assert isinstance(node.alternate, ast.ConditionalExpr)
+
+
+class TestStatements:
+    def test_var_multiple_declarations(self):
+        stmt = first_stmt("var a = 1, b, c = 3;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert len(stmt.declarations) == 3
+        assert stmt.declarations[1] == ("b", None)
+
+    def test_function_declaration(self):
+        stmt = first_stmt("function f(a, b) { return a + b; }")
+        assert isinstance(stmt, ast.FunctionDecl)
+        assert stmt.params == ["a", "b"]
+        assert isinstance(stmt.body[0], ast.ReturnStmt)
+
+    def test_if_else_chain(self):
+        stmt = first_stmt("if (a) x; else if (b) y; else z;")
+        assert isinstance(stmt, ast.IfStmt)
+        assert isinstance(stmt.alternate, ast.IfStmt)
+
+    def test_for_all_parts(self):
+        stmt = first_stmt("for (var i = 0; i < 10; i++) ;")
+        assert isinstance(stmt, ast.ForStmt)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert stmt.test is not None
+        assert isinstance(stmt.update, ast.UpdateExpr)
+
+    def test_for_empty_parts(self):
+        stmt = first_stmt("for (;;) break;")
+        assert stmt.init is None
+        assert stmt.test is None
+        assert stmt.update is None
+
+    def test_while_and_do_while(self):
+        assert isinstance(first_stmt("while (x) ;"), ast.WhileStmt)
+        assert isinstance(first_stmt("do ; while (x);"), ast.DoWhileStmt)
+
+    def test_try_catch_finally(self):
+        stmt = first_stmt("try { a; } catch (e) { b; } finally { c; }")
+        assert isinstance(stmt, ast.TryStmt)
+        assert stmt.catch_name == "e"
+        assert stmt.finally_block is not None
+
+    def test_try_requires_catch_or_finally(self):
+        with pytest.raises(JSLiteSyntaxError):
+            parse("try { a; }")
+
+    def test_throw(self):
+        stmt = first_stmt("throw x;")
+        assert isinstance(stmt, ast.ThrowStmt)
+
+    def test_block(self):
+        stmt = first_stmt("{ a; b; }")
+        assert isinstance(stmt, ast.BlockStmt)
+        assert len(stmt.body) == 2
+
+
+class TestExpressions:
+    def test_member_chain(self):
+        node = expr_of("a.b.c;")
+        assert isinstance(node, ast.MemberExpr)
+        assert node.name == "c"
+        assert node.obj.name == "b"
+
+    def test_computed_member(self):
+        node = expr_of("a[b + 1];")
+        assert node.computed
+        assert isinstance(node.index, ast.BinaryExpr)
+
+    def test_call_with_args(self):
+        node = expr_of("f(1, x, 'y');")
+        assert isinstance(node, ast.CallExpr)
+        assert len(node.args) == 3
+
+    def test_method_call(self):
+        node = expr_of("o.m(1);")
+        assert isinstance(node, ast.CallExpr)
+        assert isinstance(node.callee, ast.MemberExpr)
+
+    def test_new_with_args(self):
+        node = expr_of("new Point(1, 2);")
+        assert isinstance(node, ast.NewExpr)
+        assert len(node.args) == 2
+
+    def test_new_then_member(self):
+        node = expr_of("new Foo().bar;")
+        assert isinstance(node, ast.MemberExpr)
+        assert isinstance(node.obj, ast.NewExpr)
+
+    def test_array_literal(self):
+        node = expr_of("[1, 2, 3];")
+        assert isinstance(node, ast.ArrayLiteral)
+        assert len(node.elements) == 3
+
+    def test_object_literal(self):
+        node = expr_of("({a: 1, 'b': 2, 3: x});")
+        assert isinstance(node, ast.ObjectLiteral)
+        assert [name for name, _v in node.properties] == ["a", "b", "3"]
+
+    def test_function_expression(self):
+        node = expr_of("(function add(a, b) { return a + b; });")
+        assert isinstance(node, ast.FunctionExpr)
+        assert node.name == "add"
+
+    def test_compound_assignment(self):
+        node = expr_of("x += 2;")
+        assert isinstance(node, ast.AssignExpr)
+        assert node.op == "+"
+
+    def test_all_compound_operators(self):
+        for text, op in [("-=", "-"), ("*=", "*"), ("/=", "/"), ("%=", "%"),
+                         ("&=", "&"), ("|=", "|"), ("^=", "^"),
+                         ("<<=", "<<"), (">>=", ">>"), (">>>=", ">>>")]:
+            node = expr_of(f"x {text} 2;")
+            assert node.op == op
+
+    def test_prefix_postfix(self):
+        pre = expr_of("++x;")
+        post = expr_of("x++;")
+        assert pre.prefix and not post.prefix
+
+    def test_typeof_delete(self):
+        assert expr_of("typeof x;").op == "typeof"
+        assert isinstance(expr_of("delete o.x;"), ast.DeleteExpr)
+
+    def test_comma_operator(self):
+        node = expr_of("(a, b);")
+        assert node.op == ","
+
+
+class TestErrors:
+    def test_invalid_assignment_target(self):
+        with pytest.raises(JSLiteSyntaxError):
+            parse("1 = 2;")
+
+    def test_unterminated_block(self):
+        with pytest.raises(JSLiteSyntaxError):
+            parse("{ a;")
+
+    def test_missing_paren(self):
+        with pytest.raises(JSLiteSyntaxError):
+            parse("if (a { b; }")
+
+    def test_missing_semicolon_between_statements(self):
+        with pytest.raises(JSLiteSyntaxError):
+            parse("var a = 1 var b = 2;")
+
+    def test_semicolon_optional_before_brace(self):
+        parse("function f() { return 1 }")  # no error

@@ -1,0 +1,216 @@
+"""Unit tests for the forward filter pipeline (paper Section 5.1)."""
+
+from repro.core.lir import LIns
+from repro.jit.pipeline import ForwardPipeline
+from repro.vm import VMConfig
+
+
+def make_pipeline(**overrides):
+    config = VMConfig(**overrides)
+    return ForwardPipeline(config)
+
+
+def const_i(pipe, value):
+    return pipe.emit(LIns("const", imm=value, type="i"))
+
+
+def const_d(pipe, value):
+    return pipe.emit(LIns("const", imm=value, type="d"))
+
+
+class TestConstantFolding:
+    def test_int_fold(self):
+        pipe = make_pipeline()
+        result = pipe.emit(LIns("addi", (const_i(pipe, 2), const_i(pipe, 3)), type="i"))
+        assert result.op == "const"
+        assert result.imm == 5
+
+    def test_compare_fold(self):
+        pipe = make_pipeline()
+        result = pipe.emit(LIns("lti", (const_i(pipe, 1), const_i(pipe, 2)), type="b"))
+        assert result.op == "const"
+        assert result.imm is True
+
+    def test_double_fold(self):
+        pipe = make_pipeline()
+        result = pipe.emit(
+            LIns("muld", (const_d(pipe, 2.0), const_d(pipe, 4.0)), type="d")
+        )
+        assert result.op == "const"
+        assert result.imm == 8.0
+
+    def test_overflowing_fold_declined(self):
+        # Folding an add that would overflow must keep the guarded insn.
+        pipe = make_pipeline()
+        big = const_i(pipe, 2**31 - 1)
+        one = const_i(pipe, 1)
+        result = pipe.emit(LIns("addi", (big, one), type="i"))
+        assert result.op == "addi"
+
+    def test_bitwise_fold_wraps_int32(self):
+        pipe = make_pipeline()
+        result = pipe.emit(
+            LIns("shli", (const_i(pipe, 1), const_i(pipe, 31)), type="i")
+        )
+        assert result.op == "const"
+        assert result.imm == -(2**31)
+
+    def test_unary_folds(self):
+        pipe = make_pipeline()
+        assert pipe.emit(LIns("i2d", (const_i(pipe, 3),), type="d")).imm == 3.0
+        assert pipe.emit(
+            LIns("notb", (pipe.emit(LIns("const", imm=True, type="b")),), type="b")
+        ).imm is False
+
+
+class TestAlgebraicIdentities:
+    def test_add_zero(self):
+        pipe = make_pipeline()
+        x = pipe.emit(LIns("param", slot=0, type="i"))
+        assert pipe.emit(LIns("addi", (x, const_i(pipe, 0)), type="i")) is x
+        assert pipe.emit(LIns("addi", (const_i(pipe, 0), x), type="i")) is x
+
+    def test_mul_one_and_zero(self):
+        pipe = make_pipeline()
+        x = pipe.emit(LIns("param", slot=0, type="i"))
+        assert pipe.emit(LIns("muli", (x, const_i(pipe, 1)), type="i")) is x
+        zero = pipe.emit(LIns("muli", (x, const_i(pipe, 0)), type="i"))
+        assert zero.op == "const" and zero.imm == 0
+
+    def test_sub_self_is_zero(self):
+        # The paper's example: a - a = 0.
+        pipe = make_pipeline()
+        x = pipe.emit(LIns("param", slot=0, type="i"))
+        result = pipe.emit(LIns("subi", (x, x), type="i"))
+        assert result.op == "const" and result.imm == 0
+
+
+class TestSemanticFilter:
+    def test_int_double_roundtrip_removed(self):
+        # "LIR that converts an INT to a DOUBLE and then back again
+        # would be removed by this filter."
+        pipe = make_pipeline()
+        x = pipe.emit(LIns("param", slot=0, type="i"))
+        widened = pipe.emit(LIns("i2d", (x,), type="d"))
+        back = pipe.emit(LIns("d2i32", (widened,), type="i"))
+        assert back is x
+
+    def test_double_compare_of_promoted_ints_narrows(self):
+        pipe = make_pipeline()
+        a = pipe.emit(LIns("param", slot=0, type="i"))
+        b = pipe.emit(LIns("param", slot=1, type="i"))
+        wa = pipe.emit(LIns("i2d", (a,), type="d"))
+        wb = pipe.emit(LIns("i2d", (b,), type="d"))
+        cmp = pipe.emit(LIns("ltd", (wa, wb), type="b"))
+        assert cmp.op == "lti"
+        assert cmp.args == (a, b)
+
+    def test_toboold_of_promoted_int_narrows(self):
+        pipe = make_pipeline()
+        a = pipe.emit(LIns("param", slot=0, type="i"))
+        wa = pipe.emit(LIns("i2d", (a,), type="d"))
+        result = pipe.emit(LIns("toboold", (wa,), type="b"))
+        assert result.op == "tobooli"
+
+
+class TestCSE:
+    def test_pure_expression_shared(self):
+        pipe = make_pipeline()
+        a = pipe.emit(LIns("param", slot=0, type="i"))
+        b = pipe.emit(LIns("param", slot=1, type="i"))
+        first = pipe.emit(LIns("addi", (a, b), type="i"))
+        second = pipe.emit(LIns("addi", (a, b), type="i"))
+        assert first is second
+
+    def test_constants_deduplicated(self):
+        pipe = make_pipeline()
+        assert const_i(pipe, 7) is const_i(pipe, 7)
+        assert const_i(pipe, 7) is not const_d(pipe, 7.0)
+
+    def test_load_cse_and_store_invalidation(self):
+        pipe = make_pipeline()
+        first = pipe.emit(LIns("ldar", slot=3, type="i"))
+        second = pipe.emit(LIns("ldar", slot=3, type="i"))
+        assert first is second
+        pipe.emit(LIns("star", (first,), slot=3))
+        third = pipe.emit(LIns("ldar", slot=3, type="i"))
+        assert third is not first
+
+    def test_heap_load_invalidated_by_call(self):
+        from repro.jit.native import CallSpec
+
+        pipe = make_pipeline()
+        obj = pipe.emit(LIns("param", slot=0, type="o"))
+        first = pipe.emit(LIns("ldshape", (obj,), type="i"))
+        assert pipe.emit(LIns("ldshape", (obj,), type="i")) is first
+        spec = CallSpec(kind="helper", name="x", fn=lambda vm: None)
+        pipe.emit(LIns("call", (), imm=spec, type="v"))
+        assert pipe.emit(LIns("ldshape", (obj,), type="i")) is not first
+
+    def test_ar_load_survives_heap_store(self):
+        pipe = make_pipeline()
+        obj = pipe.emit(LIns("param", slot=0, type="o"))
+        load = pipe.emit(LIns("ldar", slot=2, type="i"))
+        boxed = pipe.emit(LIns("boxv", (load,), imm=None, type="x"))
+        pipe.emit(LIns("stslot", (obj, boxed), imm=0))
+        assert pipe.emit(LIns("ldar", slot=2, type="i")) is load
+
+    def test_redundant_guard_swallowed(self):
+        pipe = make_pipeline()
+        cond = pipe.emit(LIns("param", slot=0, type="b"))
+        exit_marker = object()
+        pipe.emit(LIns("xf", (cond,), exit=exit_marker))
+        before = len(pipe.lir)
+        pipe.emit(LIns("xf", (cond,), exit=exit_marker))
+        assert len(pipe.lir) == before  # second guard not appended
+
+    def test_opposite_guard_not_swallowed(self):
+        pipe = make_pipeline()
+        cond = pipe.emit(LIns("param", slot=0, type="b"))
+        pipe.emit(LIns("xf", (cond,), exit=object()))
+        before = len(pipe.lir)
+        pipe.emit(LIns("xt", (cond,), exit=object()))
+        assert len(pipe.lir) == before + 1
+
+
+class TestSoftFloat:
+    def test_double_ops_become_calls(self):
+        pipe = make_pipeline(enable_softfloat=True)
+        a = pipe.emit(LIns("param", slot=0, type="d"))
+        b = pipe.emit(LIns("param", slot=1, type="d"))
+        result = pipe.emit(LIns("addd", (a, b), type="d"))
+        assert result.op == "call"
+        assert result.imm.name == "softfloat_addd"
+
+    def test_softfloat_helpers_compute_correctly(self):
+        import math
+
+        from repro.jit.pipeline import _make_softfloat
+
+        assert _make_softfloat("addd")(None, 1.5, 2.5) == 4.0
+        assert _make_softfloat("divd")(None, 1.0, 0.0) == math.inf
+        assert _make_softfloat("ned")(None, math.nan, 1.0) is True
+        assert _make_softfloat("ltd")(None, math.nan, 1.0) is False
+        assert _make_softfloat("d2i32")(None, 2.0**31) == -(2**31)
+
+    def test_int_ops_untouched(self):
+        pipe = make_pipeline(enable_softfloat=True)
+        a = pipe.emit(LIns("param", slot=0, type="i"))
+        result = pipe.emit(LIns("addi", (a, a), type="i"))
+        assert result.op == "addi"
+
+
+class TestAblationFlags:
+    def test_cse_disabled(self):
+        pipe = make_pipeline(enable_cse=False)
+        a = pipe.emit(LIns("param", slot=0, type="i"))
+        first = pipe.emit(LIns("addi", (a, a), type="i"))
+        second = pipe.emit(LIns("addi", (a, a), type="i"))
+        assert first is not second
+
+    def test_exprsimp_disabled(self):
+        pipe = make_pipeline(enable_exprsimp=False, enable_cse=False)
+        result = pipe.emit(
+            LIns("addi", (const_i(pipe, 2), const_i(pipe, 3)), type="i")
+        )
+        assert result.op == "addi"

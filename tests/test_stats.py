@@ -1,0 +1,71 @@
+"""Tests for the cycle ledger, execution profile, and VM stats."""
+
+from repro.costs import Activity, CycleLedger
+from repro.stats import ExecutionProfile, TraceStats, VMStats
+
+
+class TestCycleLedger:
+    def test_charge_and_total(self):
+        ledger = CycleLedger()
+        ledger.charge(Activity.INTERPRET, 10)
+        ledger.charge(Activity.NATIVE, 30)
+        assert ledger.total == 40
+
+    def test_fractions(self):
+        ledger = CycleLedger()
+        ledger.charge(Activity.NATIVE, 75)
+        ledger.charge(Activity.MONITOR, 25)
+        assert ledger.fraction(Activity.NATIVE) == 0.75
+        assert ledger.fraction(Activity.RECORD) == 0.0
+
+    def test_empty_ledger_fraction_zero(self):
+        assert CycleLedger().fraction(Activity.NATIVE) == 0.0
+
+    def test_snapshot_and_reset(self):
+        ledger = CycleLedger()
+        ledger.charge(Activity.COMPILE, 5)
+        snap = ledger.snapshot()
+        assert snap["compile"] == 5
+        ledger.reset()
+        assert ledger.total == 0
+
+
+class TestExecutionProfile:
+    def test_fractions(self):
+        profile = ExecutionProfile(interpreted=10, recorded=10, native=80)
+        assert profile.fraction_native() == 0.8
+        assert profile.fraction_interpreted() == 0.1
+        assert profile.fraction_recorded() == 0.1
+
+    def test_empty_profile(self):
+        profile = ExecutionProfile()
+        assert profile.fraction_native() == 0.0
+
+
+class TestTraceStats:
+    def test_abort_counting(self):
+        stats = TraceStats()
+        stats.count_abort("reason-a")
+        stats.count_abort("reason-a")
+        stats.count_abort("reason-b")
+        assert stats.traces_aborted == 3
+        assert stats.abort_reasons == {"reason-a": 2, "reason-b": 1}
+
+
+class TestVMStats:
+    def test_summary_lines_render(self):
+        stats = VMStats()
+        stats.ledger.charge(Activity.NATIVE, 100)
+        stats.profile.native = 50
+        stats.tracing.trees_formed = 2
+        stats.tracing.count_abort("oops")
+        lines = stats.summary_lines()
+        text = "\n".join(lines)
+        assert "total simulated cycles : 100" in text
+        assert "trees formed           : 2" in text
+        assert "oops" in text
+
+    def test_time_breakdown_keys(self):
+        stats = VMStats()
+        breakdown = stats.time_breakdown()
+        assert set(breakdown) == {"interpret", "monitor", "record", "compile", "native"}

@@ -1,0 +1,108 @@
+"""Tests for the switch statement (parser, compiler, all engines)."""
+
+import pytest
+
+from repro import BaselineVM
+from repro.errors import JSLiteSyntaxError
+from repro.frontend.parser import parse
+from tests.helpers import assert_engines_agree
+
+
+def value(source):
+    return BaselineVM().run(source).payload
+
+
+class TestParsing:
+    def test_basic_shape(self):
+        program = parse("switch (x) { case 1: a; break; default: b; }")
+        stmt = program.body[0]
+        assert len(stmt.cases) == 2
+        assert stmt.cases[1][0] is None  # default
+
+    def test_duplicate_default_rejected(self):
+        with pytest.raises(JSLiteSyntaxError):
+            parse("switch (x) { default: a; default: b; }")
+
+    def test_empty_switch(self):
+        program = parse("switch (x) { }")
+        assert program.body[0].cases == []
+
+
+class TestSemantics:
+    def test_matching_case(self):
+        assert value("var r; switch (2) { case 1: r = 'a'; break; case 2: r = 'b'; break; } r;") == "b"
+
+    def test_default(self):
+        assert value("var r; switch (9) { case 1: r = 'a'; break; default: r = 'd'; } r;") == "d"
+
+    def test_fallthrough(self):
+        assert value(
+            "var r = ''; switch (1) { case 1: r += 'a'; case 2: r += 'b'; case 3: r += 'c'; } r;"
+        ) == "abc"
+
+    def test_break_stops_fallthrough(self):
+        assert value(
+            "var r = ''; switch (1) { case 1: r += 'a'; break; case 2: r += 'b'; } r;"
+        ) == "a"
+
+    def test_default_in_middle_falls_through(self):
+        assert value(
+            "var r = ''; switch (9) { case 1: r += 'a'; default: r += 'd'; case 2: r += 'b'; } r;"
+        ) == "db"
+
+    def test_strict_comparison(self):
+        assert value("var r = 0; switch ('1') { case 1: r = 1; break; default: r = 2; } r;") == 2
+
+    def test_discriminant_evaluated_once(self):
+        assert value(
+            "var n = 0; function bump() { n++; return 1; }"
+            "switch (bump()) { case 1: break; case 1: break; }"
+            "n;"
+        ) == 1
+
+    def test_no_match_no_default(self):
+        assert value("var r = 'none'; switch (5) { case 1: r = 'x'; } r;") == "none"
+
+    def test_nested_switch_in_loop_break_scoping(self):
+        assert value(
+            "var t = 0;"
+            "for (var i = 0; i < 6; i++) {"
+            "  switch (i % 3) { case 0: t += 1; break; case 1: t += 10; break; default: t += 100; }"
+            "}"
+            "t;"
+        ) == 2 * (1 + 10 + 100)
+
+    def test_continue_inside_switch_inside_loop(self):
+        assert value(
+            "var t = 0;"
+            "for (var i = 0; i < 6; i++) {"
+            "  switch (i % 2) { case 0: continue; }"
+            "  t += i;"
+            "}"
+            "t;"
+        ) == 1 + 3 + 5
+
+    def test_var_hoisting_inside_cases(self):
+        assert value(
+            "function f(k) { switch (k) { case 1: var x = 5; break; } return x; } f(1);"
+        ) == 5
+
+
+SWITCH_LOOPS = [
+    "var t = 0; for (var i = 0; i < 90; i++) { switch (i % 3) { case 0: t += 1; break; case 1: t += 2; break; default: t += 3; } } t;",
+    "var t = ''; for (var i = 0; i < 30; i++) { switch (i & 1) { case 0: t += 'e'; break; default: t += 'o'; } } t;",
+    "var t = 0; for (var i = 0; i < 60; i++) { switch (i % 4) { case 0: case 1: t += 1; break; case 2: t += 2; } } t;",
+]
+
+
+@pytest.mark.parametrize("source", SWITCH_LOOPS)
+def test_switch_in_hot_loops_all_engines(source):
+    assert_engines_agree(source, ("baseline", "threaded", "methodjit", "tracing"))
+
+
+def test_switch_traces_well():
+    from tests.helpers import run_tracing
+
+    _r, vm = run_tracing(SWITCH_LOOPS[0])
+    assert vm.stats.profile.fraction_native() > 0.8
+    assert vm.stats.tracing.branch_traces >= 1

@@ -1,0 +1,126 @@
+"""Differential semantics: the tracing VM must agree with the baseline
+interpreter on every program (tracing is an optimization, not a dialect).
+"""
+
+import pytest
+
+from tests.helpers import assert_engines_agree
+
+LOOPY_PROGRAMS = [
+    # arithmetic / types
+    "var s = 0; for (var i = 0; i < 100; i++) s += i; s;",
+    "var s = 0; for (var i = 0; i < 100; i++) s += i * 0.5; s;",
+    "var p = 1; for (var i = 1; i < 12; i++) p *= i; p;",
+    "var t = 1; for (var i = 0; i < 40; i++) t = t * 2; t;",  # int overflow
+    "var x = 0; for (var i = 0; i < 100; i++) x += 0.25; x;",  # int->double
+    "var t = 0; for (var i = 1; i < 60; i++) t += (i % 7) / 2; t;",
+    "var t = 0; for (var i = 0; i < 60; i++) t += -i; t;",
+    # bitwise
+    "var b = -1; for (var i = 0; i < 200; i++) b = b & ~i; b;",
+    "var t = 0; for (var i = 0; i < 100; i++) t ^= (i << 3) | (i >> 1); t;",
+    "var t = 0; for (var i = 0; i < 100; i++) t = (t + 0x40000000) >>> 1; t;",
+    "var t = 0; for (var i = 0; i < 64; i++) t += (-i) >>> 28; t;",
+    # control flow
+    "var a = 0, b = 0; for (var i = 0; i < 150; i++) { if (i % 2) a++; else b += 2; } a * 1000 + b;",
+    "var t = 0; for (var i = 0; i < 500; i++) { if (i > 60) break; t += i; } t;",
+    "var t = 0; for (var i = 0; i < 80; i++) { if (i % 3 == 0) continue; t += i; } t;",
+    "var t = 0; for (var i = 0; i < 90; i++) t += (i % 3 == 0 && i % 5 == 0) ? 10 : 1; t;",
+    "var n = 0, t = 0; while (n < 70) { t += n; n++; } t;",
+    "var n = 0, t = 0; do { t += n; n++; } while (n < 70); t;",
+    "var t = 0; for (var i = 0; i < 60; i++) t += (i < 30 || i > 50) ? 1 : 0; t;",
+    # nested loops
+    "var t = 0; for (var i = 0; i < 25; i++) for (var j = 0; j < 25; j++) t += i * j; t;",
+    "var t = 0; for (var i = 0; i < 12; i++) for (var j = 0; j < 12; j++) for (var k = 0; k < 4; k++) t++; t;",
+    "var t = 0; for (var i = 0; i < 20; i++) { var j = 0; while (j < i) { t += j; j++; } } t;",
+    # functions
+    "function sq(n) { return n * n; } var t = 0; for (var i = 0; i < 80; i++) t += sq(i); t;",
+    "function f(n) { return g(n) + 1; } function g(n) { return n * 2; } var t = 0; for (var i = 0; i < 80; i++) t += f(i); t;",
+    "function pick(n) { if (n % 2) return n; return -n; } var t = 0; for (var i = 0; i < 80; i++) t += pick(i); t;",
+    "function inner(n) { var s = 0; for (var k = 0; k < 5; k++) s += n; return s; } var t = 0; for (var i = 0; i < 40; i++) t += inner(i); t;",
+    # objects and arrays
+    "var o = {x: 1, y: 2}; var t = 0; for (var i = 0; i < 80; i++) t += o.x + o.y; t;",
+    "var o = {x: 0}; for (var i = 0; i < 80; i++) o.x = o.x + i; o.x;",
+    "var a = new Array(50); for (var i = 0; i < 50; i++) a[i] = i * i; var t = 0; for (var j = 0; j < 50; j++) t += a[j]; t;",
+    "var a = new Array(0); for (var i = 0; i < 100; i++) a[a.length] = i; a.length;",
+    "var a = [1, 2.5, 3]; var t = 0; for (var i = 0; i < 60; i++) t += a[i % 3]; t;",  # mixed types in array
+    "var proto = {base: 10}; function Make() {} Make.prototype.base = 10; var t = 0; var o = new Make(); for (var i = 0; i < 60; i++) t += o.base; t;",
+    # strings
+    "var s = ''; for (var i = 0; i < 40; i++) s += 'xy'; s.length;",
+    "var t = 0; var w = 'hello world'; for (var i = 0; i < 120; i++) t += w.charCodeAt(i % 11); t;",
+    "var t = 0; for (var i = 0; i < 50; i++) t += ('abc' < 'abd') ? 1 : 0; t;",
+    "var s = ''; for (var i = 0; i < 30; i++) s += i + ','; s.length;",
+    "var w = 'abcdef'; var t = ''; for (var i = 0; i < 60; i++) t = w[i % 6]; t;",
+    # natives
+    "var t = 0; for (var i = 0; i < 60; i++) t += Math.sqrt(i) + Math.sin(i); Math.floor(t * 1000);",
+    "var t = 0; for (var i = 0; i < 60; i++) t += Math.floor(i / 7); t;",
+    "var t = 0; for (var i = 0; i < 60; i++) t = Math.max(t, i % 13); t;",
+    # equality specialization
+    "var t = 0; for (var i = 0; i < 80; i++) { if (i === 40) t += 100; if (i != 79) t++; } t;",
+    "var t = 0; var u; for (var i = 0; i < 60; i++) { if (u == null) t++; } t;",
+    "var a = {}; var b = {}; var t = 0; for (var i = 0; i < 60; i++) t += (a === b) ? 1 : 0; t;",
+    # typeof on primitives
+    "var t = ''; for (var i = 0; i < 40; i++) t = typeof i; t;",
+    # update expressions
+    "var a = [0]; for (var i = 0; i < 60; i++) a[0]++; a[0];",
+    "var o = {n: 0}; for (var i = 0; i < 60; i++) ++o.n; o.n;",
+    # globals written from functions
+    "var g = 0; function bump(i) { g = g + i; } for (var i = 0; i < 70; i++) bump(i); g;",
+    # interpreted constructors inline onto the trace
+    "function P(x) { this.x = x; } var t = 0; for (var i = 0; i < 70; i++) t += new P(i).x; t;",
+    "function V(a, b) { this.a = a; this.b = b; } var t = 0; for (var i = 0; i < 60; i++) { var v = new V(i, i * 2); t += v.a + v.b; } t;",
+    "var sink = {s: 9}; function W() { return sink; } var t = 0; for (var i = 0; i < 60; i++) t += new W().s; t;",
+    # loop completion values / multiple loops sharing globals
+    "var x = 0; for (var i = 0; i < 30; i++) x += i; for (var j = 0; j < 30; j++) x -= j; x;",
+]
+
+
+@pytest.mark.parametrize("source", LOOPY_PROGRAMS)
+def test_tracing_agrees_with_baseline(source):
+    assert_engines_agree(source, ("baseline", "tracing"))
+
+
+UNTRACEABLE_PROGRAMS = [
+    # recursion only
+    "function fib(n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } fib(14);",
+    # eval-like native in a hot loop (abort + blacklist)
+    "var t = 0; for (var i = 0; i < 40; i++) t += hostEval('1+1'); t;",
+    # exceptions in a hot loop
+    "var t = 0; for (var i = 0; i < 40; i++) { try { throw i; } catch (e) { t += e; } } t;",
+    # delete in a hot loop
+    "var t = 0; for (var i = 0; i < 40; i++) { var o = {x: i}; delete o.x; t += o.x === undefined ? 1 : 0; } t;",
+]
+
+
+@pytest.mark.parametrize("source", UNTRACEABLE_PROGRAMS)
+def test_untraceable_programs_still_correct(source):
+    assert_engines_agree(source, ("baseline", "tracing"))
+
+
+def test_tracing_actually_traces():
+    from tests.helpers import run_tracing
+
+    _result, vm = run_tracing("var s = 0; for (var i = 0; i < 200; i++) s += i; s;")
+    assert vm.stats.tracing.trees_formed >= 1
+    assert vm.stats.profile.fraction_native() > 0.9
+
+
+def test_tracing_beats_baseline_on_type_stable_loop():
+    from tests.helpers import run_baseline, run_tracing
+
+    source = "var s = 0; for (var i = 0; i < 2000; i++) s += i & 0xff; s;"
+    _r1, base = run_baseline(source)
+    _r2, trace = run_tracing(source)
+    assert base.stats.total_cycles / trace.stats.total_cycles > 2.0
+
+
+def test_output_side_effects_match():
+    from tests.helpers import ALL_ENGINES
+
+    source = "for (var i = 0; i < 10; i++) if (i % 3 == 0) print('tick', i);"
+    outputs = []
+    for name in ("baseline", "tracing"):
+        vm = ALL_ENGINES[name]()
+        vm.run(source)
+        outputs.append(vm.output)
+    assert outputs[0] == outputs[1]
+    assert outputs[0] == ["tick 0", "tick 3", "tick 6", "tick 9"]
