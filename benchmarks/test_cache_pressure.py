@@ -1,0 +1,115 @@
+"""Cache-pressure ablation: behavior when the code-cache budget forces
+whole-cache flushes.
+
+The paper's system inherits nanojit's policy: when the code cache fills,
+the *entire* cache is flushed and tracing starts over (cross-linked
+fragments make partial eviction unsafe).  This ablation runs a workload
+that repeatedly re-enters several distinct hot loops under progressively
+tighter ``code_cache_budget`` settings and reports how much re-tracing
+the flushes force and what that costs.
+
+Expected shape: an unlimited budget never flushes; a tight budget
+flushes repeatedly, each flush discarding compiled trees that must be
+re-recorded when their loops get hot again — so recordings and compile
+time rise while the result stays correct.
+"""
+
+from conftest import write_result
+
+from repro.vm import BaselineVM, TracingVM, VMConfig
+
+# Four distinct hot function loops, driven round-robin from a hot outer
+# loop: every loop keeps getting re-entered, so a flushed tree is always
+# re-traced (the workload converges after every flush).
+WORKLOAD = """
+function f(n) { var s = 0; for (var i = 0; i < n; i++) s += i; return s; }
+function g(n) { var s = 0; for (var i = 0; i < n; i++) s += 2 * i; return s; }
+function h(n) { var s = 0.5; for (var i = 0; i < n; i++) s += 0.25; return s; }
+function k(n) { var t = 0;
+    for (var i = 0; i < n; i++) { if (i % 3 == 0) t += 1; else t += 2; }
+    return t; }
+var total = 0;
+for (var r = 0; r < 25; r++) {
+    total = total + f(40) + g(40) + h(40) + k(40);
+}
+total;
+"""
+
+BUDGETS = [
+    ("unlimited", 0),
+    ("generous", 8192),
+    ("tight", 1024),
+    ("tiny", 400),
+]
+
+
+def run_all():
+    baseline = BaselineVM()
+    base_result = baseline.run(WORKLOAD)
+    rows = []
+    for label, budget in BUDGETS:
+        vm = TracingVM(VMConfig(code_cache_budget=budget))
+        result = vm.run(WORKLOAD)
+        assert repr(result) == repr(base_result), label
+        tracing = vm.stats.tracing
+        rows.append(
+            {
+                "label": label,
+                "budget": budget,
+                "flushes": tracing.cache_flushes,
+                "retired": tracing.fragments_retired,
+                "recordings": tracing.recordings_started,
+                "trees": tracing.trees_formed,
+                "high_water": vm.monitor.cache.code_size_high_water,
+                "cycles": vm.stats.total_cycles,
+                "speedup": baseline.stats.total_cycles / vm.stats.total_cycles,
+            }
+        )
+    return rows
+
+
+def test_cache_pressure(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "code-cache pressure ablation (budget overflow => whole-cache flush)",
+        f"{'budget':>10} {'flushes':>8} {'retired':>8} {'recordings':>11} "
+        f"{'trees':>6} {'high-water':>11} {'cycles':>12} {'speedup':>8}",
+        "-" * 80,
+    ]
+    for row in rows:
+        budget = "unlimited" if row["budget"] == 0 else str(row["budget"])
+        lines.append(
+            f"{budget:>10} {row['flushes']:8d} {row['retired']:8d} "
+            f"{row['recordings']:11d} {row['trees']:6d} {row['high_water']:11d} "
+            f"{row['cycles']:12,d} {row['speedup']:7.2f}x"
+        )
+    write_result("cache_pressure.txt", "\n".join(lines))
+
+    by_label = {row["label"]: row for row in rows}
+
+    # No budget, no flushes; the high-water mark is the workload's
+    # natural footprint.
+    assert by_label["unlimited"]["flushes"] == 0
+    natural = by_label["unlimited"]["high_water"]
+    assert natural > 1024  # the tight budgets below really do overflow
+
+    # Tight budgets flush, and tighter budgets flush at least as often.
+    assert by_label["tight"]["flushes"] >= 1
+    assert by_label["tiny"]["flushes"] >= by_label["tight"]["flushes"]
+
+    # Every flush forces re-tracing: recordings grow with pressure.
+    assert by_label["tight"]["recordings"] > by_label["unlimited"]["recordings"]
+    assert by_label["tiny"]["recordings"] >= by_label["tight"]["recordings"]
+
+    # Flushing keeps the resident footprint near the budget (a single
+    # kept tree may exceed it, but the high-water mark stays well under
+    # the unconstrained footprint).
+    assert by_label["tiny"]["high_water"] < natural
+
+    # Re-tracing costs cycles: pressure never makes the VM faster.
+    assert by_label["tiny"]["cycles"] >= by_label["unlimited"]["cycles"]
+
+    # Even under heavy pressure the tracing VM still beats the
+    # interpreter on this loop-dominated workload.
+    assert by_label["tiny"]["speedup"] > 1.0

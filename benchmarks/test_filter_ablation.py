@@ -44,7 +44,7 @@ def run_all():
         vm = TracingVM(config)
         result = vm.run(WORKLOAD)
         assert repr(result) == repr(base_result), label
-        trees = [tree for peers in vm.monitor.trees.values() for tree in peers]
+        trees = vm.monitor.cache.all_trees()
         main = max(trees, key=lambda tree: tree.iterations)
         removed = main.fragment.backward_stats
         rows.append(

@@ -57,7 +57,7 @@ def test_sieve_narrative(benchmark):
     assert tracing.tree_calls_recorded >= 1
     assert tracing.branch_traces >= 1
 
-    trees = [tree for peers in vm.monitor.trees.values() for tree in peers]
+    trees = vm.monitor.cache.all_trees()
     inner = max(trees, key=lambda tree: tree.loop_info.depth)
     lir_ops = [ins.op for ins in inner.fragment.lir]
     call_names = [ins.imm.name for ins in inner.fragment.lir if ins.op == "call"]

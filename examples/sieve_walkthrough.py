@@ -52,7 +52,7 @@ def main() -> None:
     print()
 
     monitor = vm.monitor
-    trees = [tree for peers in monitor.trees.values() for tree in peers]
+    trees = monitor.cache.all_trees()
     trees.sort(key=lambda tree: tree.header_pc)
     for tree in trees:
         loop_line = tree.loop_info.line

@@ -89,8 +89,12 @@ class MethodJITVM:
     """A VM that compiles every method on first call (no tracing)."""
 
     def __init__(self, config: Optional[VMConfig] = None):
+        from repro.core.events import EventStream
+
         self.config = config or VMConfig()
         self.stats = VMStats()
+        #: Present (and empty) so the CLI's --events works uniformly.
+        self.events = EventStream(capture=self.config.capture_events)
         self.globals: Dict[str, Box] = {}
         self.output: List[str] = []
         self.preempt_flag = False

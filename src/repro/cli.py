@@ -66,6 +66,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="after the run, print every compiled trace (LIR and native code)",
     )
     parser.add_argument(
+        "--events",
+        action="store_true",
+        help="after the run, print the trace-lifecycle event stream as JSONL",
+    )
+    parser.add_argument(
+        "--dump-events",
+        metavar="FILE",
+        help="write the trace-lifecycle event stream as JSONL to FILE",
+    )
+    parser.add_argument(
         "--no-result",
         action="store_true",
         help="do not print the program's completion value",
@@ -117,7 +127,7 @@ def dump_traces(vm: TracingVM, out) -> None:
     from repro.core.typemap import describe_typemap
     from repro.jit.codegen import format_native
 
-    trees = [tree for peers in vm.monitor.trees.values() for tree in peers]
+    trees = vm.monitor.cache.all_trees()
     if not trees:
         print("(no traces were compiled)", file=out)
         return
@@ -148,9 +158,14 @@ def main(argv: Optional[list] = None, out=None) -> int:
     source = load_source(args)
 
     if args.compare:
+        if args.events or args.dump_events:
+            print("(--events is per-engine; ignored with --compare)",
+                  file=sys.stderr)
         return run_compare(source, out)
 
     vm = ENGINES[args.engine]()
+    if args.events or args.dump_events:
+        vm.events.capture = True
     try:
         code = vm.compile(source, name=args.file or "<cli>")
     except (JSLiteSyntaxError, ReproError) as error:
@@ -183,6 +198,18 @@ def main(argv: Optional[list] = None, out=None) -> int:
         else:
             print(file=out)
             dump_traces(vm, out)
+    if args.dump_events:
+        try:
+            count = vm.events.write_jsonl(args.dump_events)
+        except OSError as error:
+            print(f"repro: cannot write {args.dump_events}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"({count} events written to {args.dump_events})", file=sys.stderr)
+    if args.events:
+        jsonl = vm.events.to_jsonl()
+        if jsonl:
+            print(jsonl, file=out)
     return 0
 
 

@@ -1,0 +1,143 @@
+"""Structured trace-lifecycle event stream.
+
+Every decision the trace machinery makes — starting/aborting a
+recording, compiling and linking a fragment, taking a side exit,
+blacklisting a header, flushing the code cache — is emitted as one
+:class:`TraceEvent` on the VM's :class:`EventStream`.  The stream is
+the single observability seam for the JIT:
+
+* :class:`repro.stats.TraceStats` subscribes and *folds* the stream
+  into its lifecycle counters (so the counters are derived data, not a
+  second bookkeeping path);
+* the CLI's ``--events`` / ``--dump-events`` flags retain the events
+  and export them as JSONL for offline analysis;
+* tests and benchmarks subscribe ad hoc to assert on exact sequences.
+
+Events are dispatched to subscribers unconditionally (the stats fold
+depends on it) but only *retained* when ``capture`` is set, so hot
+workloads do not accumulate unbounded history by default.  Payloads are
+restricted to JSON-scalar values (str/int/float/bool/None) so every
+event serializes losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterator, List, Optional
+
+# -- event kinds -----------------------------------------------------------------
+
+#: A recording started (root or branch).
+RECORD_START = "record-start"
+#: A recording was abandoned; payload carries the abort reason.
+RECORD_ABORT = "record-abort"
+#: A fragment finished compiling (backward filters + codegen).
+COMPILE = "compile"
+#: A compiled fragment was linked into the cache (root registered as a
+#: peer tree / branch patched onto its guard).
+LINK = "link"
+#: A compiled trace returned to the monitor through a side exit.
+SIDE_EXIT = "side-exit"
+#: A loop header was blacklisted (its LOOPHEADER patched to a NOP).
+BLACKLIST = "blacklist"
+#: The whole code cache was flushed (budget overflow or explicit).
+FLUSH = "flush"
+#: A header is backing off after a recording failure / blacklist check.
+BACKOFF = "backoff"
+#: A header already has ``max_peer_trees`` peers; recording refused.
+PEER_OVERFLOW = "peer-overflow"
+#: A tree already has ``max_branch_traces`` branches; branch refused.
+BRANCH_CAP = "branch-cap"
+#: A type-unstable exit chained directly into a complementary peer.
+UNSTABLE_LINK = "unstable-link"
+
+
+class TraceEvent:
+    """One structured lifecycle event: a kind, a sequence number, and a
+    flat JSON-scalar payload."""
+
+    __slots__ = ("seq", "kind", "payload")
+
+    def __init__(self, seq: int, kind: str, payload: Dict[str, object]):
+        self.seq = seq
+        self.kind = kind
+        self.payload = payload
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {"seq": self.seq, "kind": self.kind}
+        record.update(self.payload)
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=False)
+
+    def __repr__(self) -> str:
+        fields = " ".join(f"{k}={v!r}" for k, v in self.payload.items())
+        return f"<TraceEvent #{self.seq} {self.kind} {fields}>"
+
+
+class EventStream:
+    """Ordered stream of :class:`TraceEvent`; the JIT's observability bus.
+
+    ``counts`` (events seen per kind) is always maintained, even when
+    retention is off, so cheap assertions never require capture.
+    """
+
+    def __init__(self, capture: bool = False, limit: Optional[int] = None):
+        #: Retain emitted events in :attr:`events` (JSONL export needs it).
+        self.capture = capture
+        #: When set, only the most recent ``limit`` events are retained.
+        self.limit = limit
+        self.counts: Dict[str, int] = {}
+        self._events: List[TraceEvent] = []
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+        self._seq = 0
+
+    # -- emission ----------------------------------------------------------------
+
+    def emit(self, kind: str, **payload) -> TraceEvent:
+        self._seq += 1
+        event = TraceEvent(self._seq, kind, payload)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        for subscriber in self._subscribers:
+            subscriber(event)
+        if self.capture:
+            self._events.append(event)
+            if self.limit is not None and len(self._events) > self.limit:
+                del self._events[: len(self._events) - self.limit]
+        return event
+
+    def subscribe(self, fn: Callable[[TraceEvent], None]) -> None:
+        self._subscribers.append(fn)
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self._events if event.kind == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    # -- export ------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The retained events, one JSON object per line."""
+        return "\n".join(event.to_json() for event in self._events)
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the retained events to ``path``; returns the count."""
+        with open(path, "w") as handle:
+            for event in self._events:
+                handle.write(event.to_json())
+                handle.write("\n")
+        return len(self._events)

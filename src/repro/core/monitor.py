@@ -21,7 +21,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro import costs
+from repro.core import events as eventkind
 from repro.core import exits as exitkind
+from repro.core.cache import FragmentState, TraceCache
 from repro.core.exits import ExitEvent, SideExit
 from repro.core.blacklist import Blacklist
 from repro.core.oracle import Oracle
@@ -54,26 +56,26 @@ _BRANCHABLE_EXIT_KINDS = frozenset(
 
 
 class TraceMonitor:
-    """Owns the trace cache, hotness counters, and recording state."""
+    """Recording policy and trace execution; the cache itself lives in
+    :class:`repro.core.cache.TraceCache`."""
 
     def __init__(self, vm):
         self.vm = vm
         self.config = vm.config
+        self.events = vm.events
         self.oracle = Oracle(enabled=vm.config.enable_oracle)
         self.blacklist = Blacklist(
             backoff=vm.config.blacklist_backoff,
             max_failures=vm.config.max_recording_failures,
             enabled=vm.config.enable_blacklisting,
         )
-        #: (id(code), header_pc) -> list of peer TraceTrees.
-        self.trees: Dict[tuple, List[TraceTree]] = {}
-        self.hot_counters: Dict[tuple, int] = {}
+        #: Owns peer trees, hotness counters, code-size accounting, and
+        #: the flush path; all fragment lookup/registration goes here.
+        self.cache = TraceCache(vm.config, vm.events)
         #: VM-wide global slot registry (shared across all trees so
         #: nested trees can exchange globals through one area).
         self.global_slot_of: Dict[str, int] = {}
         self.global_names: List[str] = []
-        #: Keeps codes with live trees referenced (id() keys need this).
-        self._code_refs: List[object] = []
 
     # -- global slots -----------------------------------------------------------
 
@@ -127,14 +129,12 @@ class TraceMonitor:
         loop_info = code.loop_at_header(pc)
         if loop_info is None:
             raise VMInternalError(f"LOOPHEADER at pc {pc} has no LoopInfo")
-        key = (id(code), pc)
         tree = self.find_matching_tree(interp, frame, pc)
         if tree is not None:
             self.execute_tree(interp, frame, tree, len(interp.frames) - 1)
             return
         self.vm.stats.tracing.loops_seen += 1
-        count = self.hot_counters.get(key, 0) + 1
-        self.hot_counters[key] = count
+        count = self.cache.bump_hotness(code, pc)
         if count >= self.config.hotness_threshold:
             self.consider_recording(interp, frame, pc)
 
@@ -146,10 +146,9 @@ class TraceMonitor:
         code = frame.code
         self._charge(costs.BLACKLIST_CHECK)
         if not self.blacklist.allows_recording(code, pc):
-            self.vm.stats.tracing.backoffs += 1
+            self.events.emit(eventkind.BACKOFF, code=code.name, pc=pc)
             return False
-        peers = self.trees.get((id(code), pc), [])
-        if len(peers) >= self.config.max_peer_trees:
+        if not self.cache.has_peer_capacity(code, pc):
             return False
         loop_info = code.loop_at_header(pc)
         if loop_info is None:
@@ -158,7 +157,9 @@ class TraceMonitor:
         recorder = Recorder(self.vm, self, tree)
         recorder.init_root(frame)
         self.vm.recorder = recorder
-        self.vm.stats.tracing.recordings_started += 1
+        self.events.emit(
+            eventkind.RECORD_START, fragment="root", code=code.name, pc=pc
+        )
         return True
 
     def start_branch_recording(self, exit: SideExit) -> None:
@@ -172,7 +173,14 @@ class TraceMonitor:
         )
         recorder.init_branch()
         self.vm.recorder = recorder
-        self.vm.stats.tracing.recordings_started += 1
+        self.events.emit(
+            eventkind.RECORD_START,
+            fragment="branch",
+            code=exit.tree.code.name,
+            pc=exit.tree.header_pc,
+            exit_id=exit.exit_id,
+            exit_kind=exit.kind,
+        )
 
     # -- finishing / aborting -----------------------------------------------------------
 
@@ -184,36 +192,46 @@ class TraceMonitor:
         recorder.finished = True
         vm.recorder = None
         tree = recorder.tree
+        fragment = recorder.fragment
         lir = recorder.pipe.lir
         vm.stats.ledger.charge(
             Activity.COMPILE, tree.compile_cost(len(lir))
         )
         if recorder.is_branch:
-            from repro.core.tree import Fragment
-
-            if len(tree.branches) >= self.config.max_branch_traces:
+            if not self.cache.has_branch_capacity(tree):
                 recorder.anchor_exit.recording_blocked = True
+                fragment.retire()
                 return
-            fragment = Fragment(tree, "branch")
-            fragment.anchor_exit = recorder.anchor_exit
             fragment.bytecount = recorder.bytecodes_recorded
             tree.compile_fragment(fragment, lir, self.config)
-            tree.branches.append(fragment)
-            if self.config.enable_stitching:
+            self.events.emit(
+                eventkind.COMPILE,
+                fragment="branch",
+                status=status,
+                code=tree.code.name,
+                pc=tree.header_pc,
+                exit_id=recorder.anchor_exit.exit_id,
+                lir=len(fragment.lir),
+                native=len(fragment.native),
+                code_size=fragment.code_size,
+            )
+            linked = self.cache.register_branch(tree, fragment)
+            if linked and self.config.enable_stitching:
                 recorder.anchor_exit.target = fragment
-            vm.stats.tracing.branch_traces += 1
-            vm.stats.tracing.traces_completed += 1
         else:
-            fragment = tree.fragment
             fragment.bytecount = recorder.bytecodes_recorded
             tree.compile_fragment(fragment, lir, self.config)
-            key = (id(tree.code), tree.header_pc)
-            self.trees.setdefault(key, []).append(tree)
-            self._code_refs.append(tree.code)
-            vm.stats.tracing.trees_formed += 1
-            vm.stats.tracing.traces_completed += 1
-            if status == "unstable":
-                vm.stats.tracing.unstable_traces += 1
+            self.events.emit(
+                eventkind.COMPILE,
+                fragment="root",
+                status=status,
+                code=tree.code.name,
+                pc=tree.header_pc,
+                lir=len(fragment.lir),
+                native=len(fragment.native),
+                code_size=fragment.code_size,
+            )
+            self.cache.register_tree(tree)
         # Nesting forgiveness (Section 4.2): outer loops that aborted on
         # this not-yet-ready tree get their failure undone.
         self.blacklist.note_inner_success(tree.code, tree.header_pc)
@@ -225,9 +243,16 @@ class TraceMonitor:
             return
         recorder.finished = True
         vm.recorder = None
-        vm.stats.tracing.count_abort(reason)
-        vm.stats.ledger.charge(Activity.RECORD, costs.ABORT_COST)
         tree = recorder.tree
+        recorder.fragment.retire()
+        self.events.emit(
+            eventkind.RECORD_ABORT,
+            reason=reason,
+            fragment="branch" if recorder.is_branch else "root",
+            code=tree.code.name,
+            pc=tree.header_pc,
+        )
+        vm.stats.ledger.charge(Activity.RECORD, costs.ABORT_COST)
         if recorder.is_branch:
             # One failed attempt permanently blocks this exit (branch
             # traces are cheap to lose; the loop still runs via its
@@ -237,10 +262,15 @@ class TraceMonitor:
         blacklisted = self.blacklist.note_failure(
             tree.code, tree.header_pc, inner_key=inner_key
         )
-        vm.stats.tracing.backoffs += 1
+        self.events.emit(
+            eventkind.BACKOFF, code=tree.code.name, pc=tree.header_pc
+        )
         if blacklisted:
             tree.code.blacklist_header(tree.header_pc)
-            vm.stats.tracing.blacklisted += 1
+            self.cache.invalidate_header(tree.code, tree.header_pc, "blacklist")
+            self.events.emit(
+                eventkind.BLACKLIST, code=tree.code.name, pc=tree.header_pc
+            )
 
     # -- nesting (Section 4.1) ------------------------------------------------------------
 
@@ -296,7 +326,7 @@ class TraceMonitor:
     # -- trace cache ---------------------------------------------------------------------
 
     def find_matching_tree(self, interp, frame: Frame, pc: int) -> Optional[TraceTree]:
-        peers = self.trees.get((id(frame.code), pc))
+        peers = self.cache.peers(frame.code, pc)
         if not peers:
             return None
         vm = self.vm
@@ -354,7 +384,12 @@ class TraceMonitor:
                 return event
             # Restoration left the interpreter exactly at the loop
             # header; enter the complementary tree immediately.
-            self.vm.stats.tracing.unstable_links += 1
+            self.events.emit(
+                eventkind.UNSTABLE_LINK,
+                code=peer.code.name,
+                pc=peer.header_pc,
+                exit_id=exit.exit_id,
+            )
             frame = interp.frames[-1]
             tree = peer
             base_index = len(interp.frames) - 1
@@ -394,7 +429,13 @@ class TraceMonitor:
         vm = self.vm
         stats = vm.stats
         exit = event.exit
-        stats.tracing.side_exits_taken += 1
+        self.events.emit(
+            eventkind.SIDE_EXIT,
+            exit_id=exit.exit_id,
+            exit_kind=exit.kind,
+            pc=exit.pc,
+            depth=exit.depth,
+        )
         exit.hit_count += 1
         # Flush dirty globals (the only channel global writes take).
         self._flush_area(event.ar.globals)
@@ -429,9 +470,14 @@ class TraceMonitor:
             vm.recorder is None
             and exit.target is None
             and not exit.recording_blocked
+            and exit.tree.fragment.state is not FragmentState.RETIRED
             and exit.hit_count >= self.config.exit_hotness_threshold
-            and len(exit.tree.branches) < self.config.max_branch_traces
         ):
+            if not self.cache.has_branch_capacity(exit.tree):
+                # The tree is full; block this exit so the cap check
+                # (and its event) fires at most once per exit.
+                exit.recording_blocked = True
+                return
             if exit.result_loc is not None:
                 # Pin the actual type the branch will be specialized for
                 # (the type guard fired because it differed from the

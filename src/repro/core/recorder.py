@@ -26,6 +26,7 @@ from repro.bytecode import opcodes as op
 from repro.core import exits as exitkind
 from repro.core.exits import FrameSnapshot, SideExit
 from repro.core.lir import LIR_TO_TRACETYPE, LIns, TRACETYPE_TO_LIR
+from repro.core.tree import Fragment
 from repro.core.typemap import TraceType, type_of_box
 from repro.errors import TraceAbort, VMInternalError
 from repro.jit.native import CallSpec
@@ -94,6 +95,14 @@ class Recorder:
         self.config = vm.config
         self.is_branch = is_branch
         self.anchor_exit = anchor_exit
+        #: The fragment this recording fills (in the RECORDED lifecycle
+        #: state until compilation): the tree's root trunk, or a fresh
+        #: branch fragment hanging off the anchor exit.
+        if is_branch:
+            self.fragment = Fragment(tree, "branch")
+            self.fragment.anchor_exit = anchor_exit
+        else:
+            self.fragment = tree.fragment
         self.pipe = ForwardPipeline(vm.config)
         self.frames_abs: List[AbsFrame] = []
         self.globals_abs: Dict[str, LIns] = {}

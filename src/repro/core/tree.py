@@ -18,21 +18,30 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro import costs
+from repro.core.cache import FragmentState
 from repro.core.typemap import TraceType
 from repro.errors import VMInternalError
 from repro.jit.backward import run_backward_filters
-from repro.jit.codegen import generate
+from repro.jit.codegen import code_size, generate
 
 
 class Fragment:
-    """A compiled trace: the root trunk or one branch."""
+    """A compiled trace: the root trunk or one branch.
+
+    Fragments move through an explicit lifecycle (tracked in ``state``):
+    RECORDED while LIR is being captured, COMPILED once native code
+    exists, LINKED when reachable from the trace cache, and RETIRED
+    when a flush, invalidation, or abort evicts it.
+    """
 
     __slots__ = (
         "tree",
         "kind",
+        "state",
         "lir",
         "native",
         "bytecount",
+        "code_size",
         "anchor_exit",
         "n_spills",
         "spill_base",
@@ -42,17 +51,23 @@ class Fragment:
     def __init__(self, tree, kind: str):
         self.tree = tree
         self.kind = kind  # 'root' or 'branch'
+        self.state = FragmentState.RECORDED
         self.lir = []
         self.native = []
         self.bytecount = 0
+        self.code_size = 0
         self.anchor_exit = None  # for branches: the exit this hangs off
         self.n_spills = 0
         self.spill_base = 0
         self.backward_stats = None
 
+    def retire(self) -> None:
+        self.state = FragmentState.RETIRED
+
     def __repr__(self) -> str:
         return (
-            f"<Fragment {self.kind} of tree@{self.tree.header_pc} "
+            f"<Fragment {self.kind} [{self.state.value}] "
+            f"of tree@{self.tree.header_pc} "
             f"{len(self.lir)} lir / {len(self.native)} native>"
         )
 
@@ -167,6 +182,8 @@ class TraceTree:
         fragment.backward_stats = backward_stats
         fragment.spill_base = self.n_location_slots
         fragment.native, fragment.n_spills = generate(filtered, fragment.spill_base)
+        fragment.code_size = code_size(fragment.native)
+        fragment.state = FragmentState.COMPILED
         self.ar_size = max(self.ar_size, fragment.spill_base + fragment.n_spills)
         for ins in filtered:
             if ins.exit is not None:
@@ -176,6 +193,24 @@ class TraceTree:
 
     def compile_cost(self, lir_length: int) -> int:
         return costs.COMPILE_FRAGMENT + costs.COMPILE_PER_LIR * lir_length
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def code_size_total(self) -> int:
+        """Simulated native bytes of the root trunk plus every branch."""
+        return self.fragment.code_size + sum(
+            branch.code_size for branch in self.branches
+        )
+
+    def retire(self) -> int:
+        """Retire every fragment of this tree; returns how many."""
+        retired = 0
+        for fragment in [self.fragment] + self.branches:
+            if fragment.state is not FragmentState.RETIRED:
+                fragment.retire()
+                retired += 1
+        return retired
 
     def __repr__(self) -> str:
         return (

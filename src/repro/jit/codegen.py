@@ -336,3 +336,29 @@ def generate(lir: List[LIns], spill_base: int):
 def format_native(insns: List[NativeInsn]) -> str:
     """Disassembly-style rendering of native code."""
     return "\n".join(f"  {index:4d}  {insn!r}" for index, insn in enumerate(insns))
+
+
+#: Simulated encoded size (bytes) per native instruction, for the trace
+#: cache's code budget.  Plain register ops assemble to one word; guards
+#: additionally embed a pointer to their side-exit record; calls carry a
+#: call spec, argument moves, and the VM-state handshake.
+_INSN_BYTES_DEFAULT = 4
+_INSN_BYTES = {
+    "gcmp": 8,
+    "gtag": 8,
+    "govf": 8,
+    "gi31": 8,
+    "gni31": 8,
+    "gclass": 8,
+    "xt": 8,
+    "xf": 8,
+    "x": 8,
+    "d2i": 8,  # carries an exit like a guard
+    "call": 16,
+    "calltree": 16,
+}
+
+
+def code_size(insns: List[NativeInsn]) -> int:
+    """Simulated native code size of a compiled fragment, in bytes."""
+    return sum(_INSN_BYTES.get(insn.op, _INSN_BYTES_DEFAULT) for insn in insns)

@@ -26,6 +26,7 @@ from typing import List, Optional
 from repro import costs
 from repro.costs import Activity
 from repro.core import exits as exitmod
+from repro.core.cache import FragmentState
 from repro.core.exits import ExitEvent, SideExit
 from repro.core.typemap import TraceType, box_for_type, type_of_box, unbox_for_type
 from repro.errors import JSThrow, NativeMachineError
@@ -697,6 +698,10 @@ class NativeMachine:
         stats.ledger.charge(Activity.NATIVE, cycles)
         if (
             exit.target is None
+            # A cache flush may retire a stitched branch while this
+            # machine is in flight; fall back to the monitor instead of
+            # transferring into retired code.
+            or exit.target.state is FragmentState.RETIRED
             or event.exception is not None
             or exit.kind == exitmod.INNER
         ):

@@ -1,17 +1,29 @@
 """Event counters and execution profiles.
 
-Two consumers:
+Three consumers:
 
 * the Figure 11 reproduction needs the fraction of dynamic bytecodes
   executed by the interpreter, while recording, and on native traces;
 * the evaluation narrative needs tracing-event counts (trees formed,
-  branch traces attached, aborts, blacklistings, side exits, ...).
+  branch traces attached, aborts, blacklistings, side exits, ...);
+* the trace cache reports its lifecycle (flushes, retired fragments).
+
+Lifecycle counters are a **fold over the structured event stream**
+(:mod:`repro.core.events`): the VM subscribes
+:meth:`TraceStats.apply_event` to its stream, and every recording /
+compile / link / side-exit / blacklist / flush event updates the
+counters here.  Only per-bytecode and per-instruction figures that are
+too hot for event dispatch (``loops_seen``, ``trace_entries``,
+``stitched_transfers``, ``loop_iterations_native``, ...) are still
+incremented directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict, List
 
+from repro.core import events as eventkind
 from repro.costs import Activity, CycleLedger
 
 
@@ -49,13 +61,18 @@ class ExecutionProfile:
 
 @dataclass
 class TraceStats:
-    """Counters for tracing events."""
+    """Counters for tracing events.
+
+    The lifecycle counters (recordings, compiles, links, side exits,
+    blacklistings, cache flushes) are maintained by :meth:`apply_event`
+    folding the VM's event stream; the rest are direct.
+    """
 
     loops_seen: int = 0
     recordings_started: int = 0
     traces_completed: int = 0
     traces_aborted: int = 0
-    abort_reasons: dict = field(default_factory=dict)
+    abort_reasons: Dict[str, int] = field(default_factory=dict)
     trees_formed: int = 0
     branch_traces: int = 0
     unstable_traces: int = 0
@@ -71,10 +88,57 @@ class TraceStats:
     oracle_marks: int = 0
     guards_emitted: int = 0
     deep_bails: int = 0
+    fragments_linked: int = 0
+    fragments_retired: int = 0
+    cache_flushes: int = 0
+    peer_overflows: int = 0
+    branch_caps: int = 0
 
     def count_abort(self, reason: str) -> None:
         self.traces_aborted += 1
         self.abort_reasons[reason] = self.abort_reasons.get(reason, 0) + 1
+
+    def top_abort_reasons(self, limit: int = 3) -> List[tuple]:
+        """The most frequent abort reasons, ``(reason, count)`` pairs."""
+        ranked = sorted(
+            self.abort_reasons.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:limit]
+
+    # -- the event fold ----------------------------------------------------------
+
+    def apply_event(self, event) -> None:
+        """Fold one :class:`repro.core.events.TraceEvent` into the counters."""
+        kind = event.kind
+        if kind == eventkind.SIDE_EXIT:
+            self.side_exits_taken += 1
+        elif kind == eventkind.RECORD_START:
+            self.recordings_started += 1
+        elif kind == eventkind.RECORD_ABORT:
+            self.count_abort(event.payload["reason"])
+        elif kind == eventkind.COMPILE:
+            self.traces_completed += 1
+            if event.payload["fragment"] == "root":
+                self.trees_formed += 1
+                if event.payload.get("status") == "unstable":
+                    self.unstable_traces += 1
+            else:
+                self.branch_traces += 1
+        elif kind == eventkind.LINK:
+            self.fragments_linked += 1
+        elif kind == eventkind.UNSTABLE_LINK:
+            self.unstable_links += 1
+        elif kind == eventkind.BACKOFF:
+            self.backoffs += 1
+        elif kind == eventkind.BLACKLIST:
+            self.blacklisted += 1
+        elif kind == eventkind.FLUSH:
+            self.cache_flushes += 1
+            self.fragments_retired += event.payload.get("fragments", 0)
+        elif kind == eventkind.PEER_OVERFLOW:
+            self.peer_overflows += 1
+        elif kind == eventkind.BRANCH_CAP:
+            self.branch_caps += 1
 
 
 @dataclass
@@ -116,10 +180,16 @@ class VMStats:
             f"({self.tracing.stitched_transfers} stitched)",
             f"blacklisted fragments  : {self.tracing.blacklisted}",
         ]
-        if self.tracing.abort_reasons:
-            reasons = ", ".join(
-                f"{reason}×{count}"
-                for reason, count in sorted(self.tracing.abort_reasons.items())
+        if self.tracing.cache_flushes:
+            lines.append(
+                f"code cache             : {self.tracing.cache_flushes} flushes, "
+                f"{self.tracing.fragments_retired} fragments retired"
             )
-            lines.append(f"abort reasons          : {reasons}")
+        if self.tracing.abort_reasons:
+            top = self.tracing.top_abort_reasons()
+            remainder = len(self.tracing.abort_reasons) - len(top)
+            reasons = ", ".join(f"{reason}×{count}" for reason, count in top)
+            if remainder > 0:
+                reasons += f" (+{remainder} more)"
+            lines.append(f"top abort reasons      : {reasons}")
         return lines

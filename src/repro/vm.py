@@ -16,6 +16,7 @@ from typing import List, Optional
 
 from repro import costs
 from repro.bytecode.compiler import Code, compile_program
+from repro.core.events import EventStream
 from repro.interp.interpreter import Interpreter
 from repro.runtime.builtins import install_globals
 from repro.runtime.values import Box
@@ -30,6 +31,12 @@ class VMConfig:
     * ``blacklist_backoff=32`` and ``max_recording_failures=2`` — Section
       3.3's back-off counter and blacklist threshold;
     * ``exit_hotness_threshold=2`` — side exits become hot like loops do;
+    * ``code_cache_budget`` — simulated bytes of native code the trace
+      cache may hold; on overflow the whole cache is flushed, like
+      nanojit's code cache (0 = unlimited);
+    * ``capture_events`` — retain the structured trace-lifecycle event
+      stream for JSONL export (events are always *dispatched* to the
+      stats fold; capture only controls retention);
     * the ``enable_*`` flags exist for the ablation benchmarks.
     """
 
@@ -41,6 +48,9 @@ class VMConfig:
     max_inline_depth: int = 8
     max_peer_trees: int = 12
     max_branch_traces: int = 64
+    code_cache_budget: int = 0
+    enable_cache_flush: bool = True
+    capture_events: bool = False
     enable_tracing: bool = True
     enable_nesting: bool = True
     enable_oracle: bool = True
@@ -64,6 +74,10 @@ class VM:
     def __init__(self, config: Optional[VMConfig] = None):
         self.config = config or VMConfig()
         self.stats = VMStats()
+        #: Structured trace-lifecycle event stream; the stats counters
+        #: are a fold over it (see repro.core.events).
+        self.events = EventStream(capture=self.config.capture_events)
+        self.events.subscribe(self.stats.tracing.apply_event)
         self.globals: dict = {}
         self.output: List[str] = []
         self.preempt_flag = False

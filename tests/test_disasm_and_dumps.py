@@ -85,7 +85,7 @@ class TestEndToEndDumps:
             "for (var i = 0; i < 60; i++) s += o.x * i;"
             "s;"
         )
-        trees = [t for peers in vm.monitor.trees.values() for t in peers]
+        trees = vm.monitor.cache.all_trees()
         assert trees
         for tree in trees:
             lir_text = format_trace(tree.fragment.lir)

@@ -128,7 +128,7 @@ class TestExitBookkeeping:
             "t;"
         )
         _r, vm = run_tracing(source)
-        trees = [tree for peers in vm.monitor.trees.values() for tree in peers]
+        trees = vm.monitor.cache.all_trees()
         blocked = [
             exit
             for tree in trees
@@ -153,9 +153,8 @@ class TestExitBookkeeping:
             "t;"
         )
         _r, vm = run_tracing(source, config)
-        for peers in vm.monitor.trees.values():
-            for tree in peers:
-                assert len(tree.branches) <= 2
+        for tree in vm.monitor.cache.all_trees():
+            assert len(tree.branches) <= 2
 
     def test_exit_hit_counts_accumulate(self):
         _r, vm = run_tracing(
@@ -164,7 +163,7 @@ class TestExitBookkeeping:
             "t;",
             VMConfig(exit_hotness_threshold=1000),  # never grow branches
         )
-        trees = [tree for peers in vm.monitor.trees.values() for tree in peers]
+        trees = vm.monitor.cache.all_trees()
         hits = [
             exit.hit_count
             for tree in trees

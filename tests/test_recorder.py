@@ -6,7 +6,7 @@ from tests.helpers import run_tracing
 
 
 def main_tree(vm):
-    trees = [tree for peers in vm.monitor.trees.values() for tree in peers]
+    trees = vm.monitor.cache.all_trees()
     return max(trees, key=lambda tree: tree.iterations)
 
 

@@ -332,13 +332,13 @@ class TestFFIOnTrace:
 class TestTraceContents:
     def test_loop_trace_ends_with_loop_instruction(self):
         _r, vm = run_tracing("var s = 0; for (var i = 0; i < 60; i++) s += i; s;")
-        trees = [t for peers in vm.monitor.trees.values() for t in peers]
+        trees = vm.monitor.cache.all_trees()
         stable = [t for t in trees if t.fragment.lir and t.fragment.lir[-1].op == "loop"]
         assert stable
 
     def test_preempt_guard_at_loop_edge(self):
         _r, vm = run_tracing("var s = 0; for (var i = 0; i < 60; i++) s += i; s;")
-        tree = next(t for peers in vm.monitor.trees.values() for t in peers)
+        tree = vm.monitor.cache.all_trees()[0]
         ops = [ins.op for ins in tree.fragment.lir]
         assert "ldpreempt" in ops
 
@@ -346,7 +346,7 @@ class TestTraceContents:
         _r, vm = run_tracing(
             "var a = new Array(100); for (var i = 0; i < 100; i++) a[i] = i; a[5];"
         )
-        tree = next(t for peers in vm.monitor.trees.values() for t in peers)
+        tree = vm.monitor.cache.all_trees()[0]
         call_names = [
             ins.imm.name for ins in tree.fragment.lir if ins.op == "call"
         ]
@@ -356,13 +356,13 @@ class TestTraceContents:
         _r, vm = run_tracing(
             "var o = {x: 1}; var t = 0; for (var i = 0; i < 60; i++) t += o.x; t;"
         )
-        tree = next(t for peers in vm.monitor.trees.values() for t in peers)
+        tree = vm.monitor.cache.all_trees()[0]
         ops = [ins.op for ins in tree.fragment.lir]
         assert "ldshape" in ops
         assert "ldslot" in ops
 
     def test_dead_stack_stores_eliminated(self):
         _r, vm = run_tracing("var s = 0; for (var i = 0; i < 60; i++) s += i * 2 + 1; s;")
-        tree = next(t for peers in vm.monitor.trees.values() for t in peers)
+        tree = vm.monitor.cache.all_trees()[0]
         stats = tree.fragment.backward_stats
         assert stats.dead_stack_stores > 0
