@@ -22,13 +22,25 @@ def test_figure12_time_breakdown(benchmark, suite_results):
     write_result("figure12.txt", format_figure12(rows))
 
     expected = {program.name: program.expected_traceable for program in PROGRAMS}
+
+    # The table is now derived from each run's phase profiler (attached
+    # by the suite runner), and the fractions partition the run exactly.
+    for row in rows:
+        assert row["source"] == "profiler", row["program"]
+        fractions = [
+            row[k] for k in ("native", "interpret", "monitor", "record", "compile")
+        ]
+        assert abs(sum(fractions) - 1.0) < 1e-9, row["program"]
+
     native_heavy = [row for row in rows if row["native"] > 0.5]
     assert len(native_heavy) >= 10
 
     # Monitor overhead below 5% for most programs (paper Section 6.3
-    # allows up to ~10% for abort-heavy ones).
+    # allows up to ~10% for abort-heavy ones).  The profiler lens
+    # charges side-exit servicing and blacklist backoff to the monitor
+    # phase, so it reads slightly higher than raw ledger counters.
     low_monitor = [row for row in rows if row["monitor"] < 0.05]
-    assert len(low_monitor) >= len(rows) * 0.7
+    assert len(low_monitor) >= len(rows) * 0.6
     for row in rows:
         assert row["monitor"] < 0.25, row["program"]
 

@@ -1,0 +1,56 @@
+"""Profile report for the paper's running example (the sieve).
+
+Writes ``results/profile_sieve.txt``: the full ``--profile`` report —
+phase breakdown, per-fragment hot-loop table, and top deopt sites with
+source-line attribution — for the Figure 1 sieve.  This is the
+observability counterpart of the sieve narrative: the same run the
+paper walks through Figures 1-4, seen through the phase profiler.
+"""
+
+from conftest import write_result
+
+from repro.obs.report import profile_report
+from repro.vm import TracingVM
+
+SIEVE = """
+var primes = new Array(100);
+for (var n = 0; n < 100; n++)
+    primes[n] = true;
+var count = 0;
+for (var i = 2; i < 100; ++i) {
+    if (!primes[i])
+        continue;
+    count++;
+    for (var k = i + i; k < 100; k += i)
+        primes[k] = false;
+}
+count;
+"""
+
+
+def run_profiled_sieve():
+    vm = TracingVM()
+    vm.enable_profiling()
+    result = vm.run(SIEVE)
+    assert result.payload == 25
+    return vm
+
+
+def test_profile_sieve(benchmark):
+    vm = benchmark.pedantic(run_profiled_sieve, rounds=1, iterations=1)
+    profiler = vm.profiler
+
+    # Conservation: the phase timeline partitions the simulated run.
+    assert sum(profiler.phase_cycles.values()) == vm.stats.ledger.total
+    # The sieve traces well: most cycles are on native traces.
+    fractions = profiler.phase_fractions()
+    assert fractions["native"] > 0.4
+    # Both sieve loops show up as fragments with source lines.
+    lines = {loop.line for loop in profiler.loops}
+    assert len(profiler.loops) >= 2
+    assert len(lines) >= 2
+
+    report = profile_report(vm)
+    write_result("profile_sieve.txt", report)
+    benchmark.extra_info["native_fraction"] = round(fractions["native"], 3)
+    benchmark.extra_info["fragments"] = len(profiler.loops)

@@ -1,0 +1,15 @@
+// The paper's running example (Figure 1): sieve of Eratosthenes.
+// Try: PYTHONPATH=src python -m repro --profile examples/sieve.js
+//      PYTHONPATH=src python -m repro --timeline sieve.html examples/sieve.js
+var primes = new Array(100);
+for (var n = 0; n < 100; n++)
+    primes[n] = true;
+var count = 0;
+for (var i = 2; i < 100; ++i) {
+    if (!primes[i])
+        continue;
+    count++;
+    for (var k = i + i; k < 100; k += i)
+        primes[k] = false;
+}
+count;

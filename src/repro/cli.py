@@ -8,6 +8,9 @@ Usage::
     python -m repro --compare prog.js         # all four engines + speedups
     python -m repro --disasm prog.js          # bytecode disassembly
     python -m repro --trace-dump prog.js      # compiled LIR + native code
+    python -m repro --profile prog.js         # phase/fragment/deopt report
+    python -m repro --profile-json p.json prog.js   # profile as JSON
+    python -m repro --timeline t.html prog.js # TraceVis-style timeline
     python -m repro -e 'var s=0; for (var i=0;i<99;i++) s+=i; s;'
 """
 
@@ -64,6 +67,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dump",
         action="store_true",
         help="after the run, print every compiled trace (LIR and native code)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "enable the phase profiler and print the profile report "
+            "(phase breakdown, hot loops, top deopt sites) after the run"
+        ),
+    )
+    parser.add_argument(
+        "--profile-json",
+        metavar="FILE",
+        help="enable the phase profiler and write the profile JSON to FILE",
+    )
+    parser.add_argument(
+        "--timeline",
+        metavar="FILE",
+        help=(
+            "capture the phase timeline and write a TraceVis-style "
+            "rendering to FILE (self-contained HTML for .html, ASCII "
+            "otherwise)"
+        ),
     )
     parser.add_argument(
         "--events",
@@ -161,11 +186,16 @@ def main(argv: Optional[list] = None, out=None) -> int:
         if args.events or args.dump_events:
             print("(--events is per-engine; ignored with --compare)",
                   file=sys.stderr)
+        if args.profile or args.profile_json or args.timeline:
+            print("(--profile is per-engine; ignored with --compare)",
+                  file=sys.stderr)
         return run_compare(source, out)
 
     vm = ENGINES[args.engine]()
     if args.events or args.dump_events:
         vm.events.capture = True
+    if args.profile or args.profile_json or args.timeline:
+        vm.enable_profiling(timeline=args.timeline is not None)
     try:
         code = vm.compile(source, name=args.file or "<cli>")
     except (JSLiteSyntaxError, ReproError) as error:
@@ -198,6 +228,33 @@ def main(argv: Optional[list] = None, out=None) -> int:
         else:
             print(file=out)
             dump_traces(vm, out)
+    if args.profile:
+        from repro.obs.report import profile_report
+
+        print(file=out)
+        print(profile_report(vm), file=out)
+    if args.profile_json:
+        from repro.obs.report import write_profile_json
+
+        try:
+            write_profile_json(vm, args.profile_json,
+                               program=args.file or "<cli>")
+        except OSError as error:
+            print(f"repro: cannot write {args.profile_json}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"(profile written to {args.profile_json})", file=sys.stderr)
+    if args.timeline:
+        from repro.obs.timeline import write_timeline
+
+        try:
+            write_timeline(vm.profiler, args.timeline,
+                           title=f"trace timeline — {args.file or '<cli>'}")
+        except OSError as error:
+            print(f"repro: cannot write {args.timeline}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"(timeline written to {args.timeline})", file=sys.stderr)
     if args.dump_events:
         try:
             count = vm.events.write_jsonl(args.dump_events)

@@ -25,6 +25,12 @@ from __future__ import annotations
 import json
 from typing import Callable, Dict, Iterator, List, Optional
 
+#: Version of the exported JSONL event records, carried on every record
+#: so offline consumers can detect format changes (see
+#: docs/INTERNALS.md for the schema).  History: 1 = unversioned records
+#: (PR 1); 2 = adds this field.
+EVENT_SCHEMA_VERSION = 2
+
 # -- event kinds -----------------------------------------------------------------
 
 #: A recording started (root or branch).
@@ -64,7 +70,11 @@ class TraceEvent:
         self.payload = payload
 
     def to_dict(self) -> Dict[str, object]:
-        record: Dict[str, object] = {"seq": self.seq, "kind": self.kind}
+        record: Dict[str, object] = {
+            "schema_version": EVENT_SCHEMA_VERSION,
+            "seq": self.seq,
+            "kind": self.kind,
+        }
         record.update(self.payload)
         return record
 

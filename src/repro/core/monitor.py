@@ -94,6 +94,20 @@ class TraceMonitor:
 
     def on_loop_header(self, interp, frame: Frame, pc: int) -> None:
         vm = self.vm
+        profiler = vm.profiler
+        if profiler is None:
+            self._on_loop_header(interp, frame, pc)
+            return
+        from repro.obs.profiler import PHASE_MONITOR
+
+        profiler.enter(PHASE_MONITOR)
+        try:
+            self._on_loop_header(interp, frame, pc)
+        finally:
+            profiler.exit()
+
+    def _on_loop_header(self, interp, frame: Frame, pc: int) -> None:
+        vm = self.vm
         self._charge(costs.MONITOR_ENTRY)
         recorder = vm.recorder
         code = frame.code
@@ -144,9 +158,22 @@ class TraceMonitor:
         self, interp, frame: Frame, pc: int, force_hot: bool = False
     ) -> bool:
         code = frame.code
-        self._charge(costs.BLACKLIST_CHECK)
-        if not self.blacklist.allows_recording(code, pc):
-            self.events.emit(eventkind.BACKOFF, code=code.name, pc=pc)
+        profiler = self.vm.profiler
+        if profiler is not None:
+            # Blacklist checks and back-off bookkeeping get their own
+            # timeline color (TraceVis showed them separately too).
+            from repro.obs.profiler import PHASE_BACKOFF
+
+            profiler.enter(PHASE_BACKOFF)
+        try:
+            self._charge(costs.BLACKLIST_CHECK)
+            allowed = self.blacklist.allows_recording(code, pc)
+            if not allowed:
+                self.events.emit(eventkind.BACKOFF, code=code.name, pc=pc)
+        finally:
+            if profiler is not None:
+                profiler.exit()
+        if not allowed:
             return False
         if not self.cache.has_peer_capacity(code, pc):
             return False
@@ -157,6 +184,8 @@ class TraceMonitor:
         recorder = Recorder(self.vm, self, tree)
         recorder.init_root(frame)
         self.vm.recorder = recorder
+        if profiler is not None:
+            profiler.set_recording(True)
         self.events.emit(
             eventkind.RECORD_START, fragment="root", code=code.name, pc=pc
         )
@@ -173,6 +202,8 @@ class TraceMonitor:
         )
         recorder.init_branch()
         self.vm.recorder = recorder
+        if self.vm.profiler is not None:
+            self.vm.profiler.set_recording(True)
         self.events.emit(
             eventkind.RECORD_START,
             fragment="branch",
@@ -191,6 +222,21 @@ class TraceMonitor:
             return
         recorder.finished = True
         vm.recorder = None
+        profiler = vm.profiler
+        if profiler is not None:
+            from repro.obs.profiler import PHASE_COMPILE
+
+            profiler.set_recording(False)
+            profiler.record_lir(recorder.pipe.emitted, len(recorder.pipe.lir))
+            profiler.enter(PHASE_COMPILE)
+        try:
+            self._compile_recording(recorder, status)
+        finally:
+            if profiler is not None:
+                profiler.exit()
+
+    def _compile_recording(self, recorder, status: str) -> None:
+        vm = self.vm
         tree = recorder.tree
         fragment = recorder.fragment
         lir = recorder.pipe.lir
@@ -243,6 +289,8 @@ class TraceMonitor:
             return
         recorder.finished = True
         vm.recorder = None
+        if vm.profiler is not None:
+            vm.profiler.set_recording(False)
         tree = recorder.tree
         recorder.fragment.retire()
         self.events.emit(
@@ -416,10 +464,28 @@ class TraceMonitor:
             raise VMInternalError("tree matched but globals failed to import")
         vm.trace_reentered = False
         vm.native_depth += 1
-        try:
-            event = machine.run(tree.fragment)
-        finally:
-            vm.native_depth -= 1
+        profiler = vm.profiler
+        if profiler is None:
+            try:
+                event = machine.run(tree.fragment)
+            finally:
+                vm.native_depth -= 1
+        else:
+            from repro.obs.profiler import PHASE_NATIVE
+
+            cycles_before = stats.ledger.total
+            iters_before = tree.iterations
+            profiler.enter(PHASE_NATIVE)
+            try:
+                event = machine.run(tree.fragment)
+            finally:
+                vm.native_depth -= 1
+                profiler.exit()
+                profiler.record_tree_run(
+                    tree,
+                    stats.ledger.total - cycles_before,
+                    tree.iterations - iters_before,
+                )
         self.handle_exit_event(interp, event, base_index)
         return event
 
@@ -436,6 +502,8 @@ class TraceMonitor:
             pc=exit.pc,
             depth=exit.depth,
         )
+        if vm.profiler is not None:
+            vm.profiler.record_side_exit(exit)
         exit.hit_count += 1
         # Flush dirty globals (the only channel global writes take).
         self._flush_area(event.ar.globals)

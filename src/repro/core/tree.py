@@ -92,6 +92,10 @@ class TraceTree:
         self.branches: List[Fragment] = []
         self.exits_by_id: Dict[int, object] = {}
         self.iterations = 0
+        #: Runtime profile attached by :class:`repro.obs.profiler
+        #: .PhaseProfiler` (``None`` when profiling is off); it outlives
+        #: the tree's residency in the cache.
+        self.profile = None
         #: Exits that terminate type-unstable traces (Figure 6 linking).
         self.unstable_exits: List[object] = []
         #: Globals any trace of this tree writes (used by outer traces
@@ -210,6 +214,8 @@ class TraceTree:
             if fragment.state is not FragmentState.RETIRED:
                 fragment.retire()
                 retired += 1
+        if self.profile is not None:
+            self.profile.retired = True
         return retired
 
     def __repr__(self) -> str:

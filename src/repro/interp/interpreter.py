@@ -71,7 +71,17 @@ class Interpreter:
     def run_toplevel(self, code: Code) -> Box:
         """Run a compiled program; returns the completion value."""
         frame = Frame(code)
-        return self.execute(frame)
+        profiler = self.vm.profiler
+        if profiler is None:
+            return self.execute(frame)
+        # The phase timeline brackets the whole top-level run; phase
+        # switches inside come from the monitor / recorder / compiler
+        # hook sites, never from the per-bytecode dispatch loop.
+        profiler.start()
+        try:
+            return self.execute(frame)
+        finally:
+            profiler.finish()
 
     def call_function(self, fn, this_box: Box, args: List[Box]) -> Box:
         """Call a JSLite or native function from the host."""

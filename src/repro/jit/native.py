@@ -725,6 +725,8 @@ class NativeMachine:
         stats = self.vm.stats
         stats.tracing.stitched_transfers += 1
         stats.ledger.charge(Activity.NATIVE, costs.STITCH_PENALTY)
+        if self.vm.profiler is not None:
+            self.vm.profiler.record_stitch(exit)
         fragment = exit.target
         return fragment, fragment.native, 0, 0
 
@@ -749,7 +751,13 @@ class NativeMachine:
         if not inner_machine.ensure_globals(inner_tree):
             self.last_inner_event = None
             return -1
+        profiler = self.vm.profiler
+        iters_before = inner_tree.iterations if profiler is not None else 0
         event = inner_machine.run(inner_tree.fragment)
+        if profiler is not None:
+            profiler.record_nested_call(
+                inner_tree, inner_tree.iterations - iters_before
+            )
         copy_back = costs.CALLTREE_PER_SLOT * len(site.local_mapping)
         for inner_slot, outer_slot in site.local_mapping:
             self.ar.slots[outer_slot] = inner_ar.slots[inner_slot]

@@ -353,10 +353,15 @@ class ForwardPipeline:
         if config.enable_softfloat:
             stage = SoftFloatFilter(stage)
         self.head = stage
+        #: Instructions sent into the pipeline — together with
+        #: ``len(self.lir)`` this measures how much the forward filters
+        #: swallow; the phase profiler reports the ratio per run.
+        self.emitted = 0
 
     def emit(self, ins: LIns) -> LIns:
         """Send one instruction through the pipeline; returns the SSA
         value the recorder should use for it."""
+        self.emitted += 1
         return self.head.process(ins)
 
     @property

@@ -1,0 +1,54 @@
+"""Observability layer: phase profiler, fragment profiles, reports.
+
+``repro.obs`` turns the VM's event stream and cost ledger into the
+paper's whole-system observability story:
+
+* :mod:`repro.obs.profiler` — the :class:`~repro.obs.profiler.PhaseProfiler`
+  phase timeline (interpret / monitor / record / compile / native /
+  blacklist-backoff) and per-fragment runtime profiles;
+* :mod:`repro.obs.report` — the ``--profile`` report: phase breakdown,
+  hot-loop table, top deopt sites;
+* :mod:`repro.obs.timeline` — TraceVis-style ASCII and self-contained
+  HTML timeline renderers (``--timeline``).
+
+Profiling is off by default and adds no simulated cycles when enabled;
+see :meth:`repro.vm.VM.enable_profiling`.
+"""
+
+from repro.obs.profiler import (
+    ACTIVITY_OF_PHASE,
+    PHASE_BACKOFF,
+    PHASE_COMPILE,
+    PHASE_INTERPRET,
+    PHASE_MONITOR,
+    PHASE_NATIVE,
+    PHASE_RECORD,
+    PHASES,
+    PROFILE_SCHEMA_VERSION,
+    GuardProfile,
+    LoopProfile,
+    PhaseProfiler,
+)
+from repro.obs.report import profile_json, profile_report, write_profile_json
+from repro.obs.timeline import render_ascii, render_html, write_timeline
+
+__all__ = [
+    "ACTIVITY_OF_PHASE",
+    "PHASES",
+    "PHASE_BACKOFF",
+    "PHASE_COMPILE",
+    "PHASE_INTERPRET",
+    "PHASE_MONITOR",
+    "PHASE_NATIVE",
+    "PHASE_RECORD",
+    "PROFILE_SCHEMA_VERSION",
+    "GuardProfile",
+    "LoopProfile",
+    "PhaseProfiler",
+    "profile_json",
+    "profile_report",
+    "write_profile_json",
+    "render_ascii",
+    "render_html",
+    "write_timeline",
+]

@@ -1,0 +1,188 @@
+"""TraceVis-style timeline renderers (ASCII and self-contained HTML).
+
+The TraceMonkey team debugged trace pathologies with TraceVis: a strip
+chart of VM time colored by activity, where "time spent not executing
+native code" is immediately visible as non-dark bands.  These renderers
+draw the same picture from the intervals captured by
+:class:`repro.obs.profiler.PhaseProfiler` (``capture_timeline`` must be
+on, which the CLI's ``--timeline`` flag arranges).
+
+The x axis is **simulated cycles**, not wall-clock time, so renders are
+deterministic; per-phase wall totals are listed alongside.
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+from typing import List
+
+from repro.obs.profiler import PHASES, PhaseProfiler
+
+#: One-letter codes for the ASCII strip.
+PHASE_CHAR = {
+    "interpret": "i",
+    "monitor": "m",
+    "record": "r",
+    "compile": "c",
+    "native": "n",
+    "blacklist-backoff": "b",
+}
+
+#: Colors for the HTML strip (TraceVis used dark for native).
+PHASE_COLOR = {
+    "interpret": "#c8553d",
+    "monitor": "#f28f3b",
+    "record": "#ffd5c2",
+    "compile": "#588b8b",
+    "native": "#2d3142",
+    "blacklist-backoff": "#9a031e",
+}
+
+
+def _dominant_per_column(profiler: PhaseProfiler, width: int) -> List[str]:
+    """For each of ``width`` equal cycle windows, the phase that owned
+    the most cycles inside it (empty string for windows with no data)."""
+    intervals = profiler.intervals
+    if not intervals:
+        return [""] * width
+    start = intervals[0][1]
+    end = intervals[-1][2]
+    span = max(end - start, 1)
+    columns = [dict() for _ in range(width)]
+    for phase, cycle0, cycle1, _w0, _w1 in intervals:
+        first = int((cycle0 - start) * width // span)
+        last = int((cycle1 - 1 - start) * width // span)
+        for col in range(max(first, 0), min(last, width - 1) + 1):
+            window0 = start + col * span / width
+            window1 = start + (col + 1) * span / width
+            overlap = min(cycle1, window1) - max(cycle0, window0)
+            if overlap > 0:
+                bucket = columns[col]
+                bucket[phase] = bucket.get(phase, 0.0) + overlap
+    out = []
+    for bucket in columns:
+        if not bucket:
+            out.append("")
+        else:
+            out.append(max(bucket.items(), key=lambda item: item[1])[0])
+    return out
+
+
+def render_ascii(profiler: PhaseProfiler, width: int = 72) -> str:
+    """A one-strip ASCII timeline plus the legend and phase totals."""
+    if not profiler.intervals:
+        return ("(no timeline captured — enable timeline capture before "
+                "the run)")
+    start = profiler.intervals[0][1]
+    end = profiler.intervals[-1][2]
+    per_column = (end - start) / max(width, 1)
+    strip = "".join(
+        PHASE_CHAR.get(phase, ".") if phase else " "
+        for phase in _dominant_per_column(profiler, width)
+    )
+    lines = [
+        f"timeline ({end - start:,} simulated cycles, "
+        f"~{per_column:,.0f} cycles/column)",
+        "[" + strip + "]",
+        "legend: " + "  ".join(
+            f"{PHASE_CHAR[phase]}={phase}" for phase in PHASES
+        ),
+        "",
+    ]
+    fractions = profiler.phase_fractions()
+    for phase in PHASES:
+        if profiler.phase_cycles[phase]:
+            lines.append(
+                f"  {phase:<18} {fractions[phase]:>6.1%} "
+                f"({profiler.phase_cycles[phase]:,} cycles, "
+                f"{profiler.phase_enters[phase]:,} spans)"
+            )
+    if profiler.timeline_truncated:
+        lines.append("  (timeline truncated: interval cap reached; "
+                     "tail merged into final span)")
+    return "\n".join(lines)
+
+
+def render_html(profiler: PhaseProfiler, title: str = "trace timeline") -> str:
+    """A self-contained (no external assets) HTML timeline document."""
+    intervals = profiler.intervals
+    fractions = profiler.phase_fractions()
+    segments = []
+    if intervals:
+        start = intervals[0][1]
+        total = max(intervals[-1][2] - start, 1)
+        for phase, cycle0, cycle1, _w0, _w1 in intervals:
+            width_pct = (cycle1 - cycle0) * 100.0 / total
+            if width_pct < 0.01:
+                width_pct = 0.01
+            tip = (f"{phase}: cycles {cycle0 - start:,}-{cycle1 - start:,} "
+                   f"({cycle1 - cycle0:,})")
+            segments.append(
+                f'<div class="seg" style="width:{width_pct:.4f}%;'
+                f'background:{PHASE_COLOR[phase]}" title="{html_escape.escape(tip)}">'
+                "</div>"
+            )
+    legend_rows = "\n".join(
+        f'<tr><td><span class="swatch" style="background:{PHASE_COLOR[phase]}">'
+        f"</span></td><td>{phase}</td>"
+        f"<td class=num>{profiler.phase_cycles[phase]:,}</td>"
+        f"<td class=num>{fractions[phase]:.1%}</td>"
+        f"<td class=num>{profiler.phase_wall[phase] * 1000:.2f} ms</td>"
+        f"<td class=num>{profiler.phase_enters[phase]:,}</td></tr>"
+        for phase in PHASES
+    )
+    truncated = (
+        "<p><em>Timeline truncated: interval cap reached; the tail was "
+        "merged into the final span.</em></p>"
+        if profiler.timeline_truncated
+        else ""
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{html_escape.escape(title)}</title>
+<style>
+  body {{ font-family: -apple-system, "Segoe UI", sans-serif; margin: 2em;
+          color: #222; }}
+  .strip {{ display: flex; height: 48px; width: 100%; border: 1px solid #444;
+            border-radius: 3px; overflow: hidden; }}
+  .seg {{ height: 100%; }}
+  .swatch {{ display: inline-block; width: 14px; height: 14px;
+             border-radius: 2px; }}
+  table {{ border-collapse: collapse; margin-top: 1.5em; }}
+  td, th {{ padding: 4px 12px; border-bottom: 1px solid #ddd; }}
+  td.num {{ text-align: right; font-variant-numeric: tabular-nums; }}
+  caption {{ text-align: left; font-weight: 600; padding-bottom: 6px; }}
+</style>
+</head>
+<body>
+<h1>{html_escape.escape(title)}</h1>
+<p>{profiler.total_cycles:,} simulated cycles over
+{len(intervals):,} spans ({profiler.wall_profiled * 1000:.2f} ms wall).
+The x axis is simulated cycles; dark is native execution.</p>
+<div class="strip">
+{''.join(segments) or '<div class="seg" style="width:100%;background:#eee"></div>'}
+</div>
+{truncated}
+<table>
+<caption>Per-phase totals</caption>
+<tr><th></th><th>phase</th><th>cycles</th><th>fraction</th><th>wall</th>
+<th>spans</th></tr>
+{legend_rows}
+</table>
+</body>
+</html>
+"""
+
+
+def write_timeline(profiler: PhaseProfiler, path: str,
+                   title: str = "trace timeline") -> None:
+    """Write the timeline to ``path`` — HTML for ``.html``/``.htm``
+    files, the ASCII strip otherwise."""
+    if path.endswith((".html", ".htm")):
+        text = render_html(profiler, title=title)
+    else:
+        text = render_ascii(profiler) + "\n"
+    with open(path, "w") as handle:
+        handle.write(text)

@@ -148,16 +148,33 @@ class VMStats:
     ledger: CycleLedger = field(default_factory=CycleLedger)
     profile: ExecutionProfile = field(default_factory=ExecutionProfile)
     tracing: TraceStats = field(default_factory=TraceStats)
+    #: The attached :class:`repro.obs.profiler.PhaseProfiler`, when the
+    #: VM enabled profiling (set by :meth:`repro.vm.VM.enable_profiling`).
+    profiler: object = None
 
     @property
     def total_cycles(self) -> int:
         return self.ledger.total
 
     def time_breakdown(self) -> dict:
-        """Per-activity cycle fractions (Figure 12 rows)."""
-        return {
+        """Per-activity cycle fractions (Figure 12 rows).
+
+        When a phase profiler is attached the fractions come from its
+        transition-accounted phase timeline (the authoritative source —
+        independent counters can drift); otherwise from the raw ledger.
+        Either way the fractions partition the run: they sum to 1.0
+        whenever any cycles were spent.
+        """
+        profiler = self.profiler
+        if profiler is not None and profiler.total_cycles > 0:
+            return profiler.activity_fractions()
+        fractions = {
             activity.value: self.ledger.fraction(activity) for activity in Activity
         }
+        total = sum(fractions.values())
+        assert total == 0.0 or abs(total - 1.0) < 1e-9, \
+            "activity fractions must partition the run"
+        return fractions
 
     def summary_lines(self) -> list:
         """Human-readable multi-line summary for examples and the CLI."""

@@ -37,6 +37,9 @@ class VMConfig:
     * ``capture_events`` — retain the structured trace-lifecycle event
       stream for JSONL export (events are always *dispatched* to the
       stats fold; capture only controls retention);
+    * ``profile`` — attach a :class:`repro.obs.profiler.PhaseProfiler`
+      at construction (``profile_timeline`` additionally retains the
+      interval timeline for the TraceVis-style renderers);
     * the ``enable_*`` flags exist for the ablation benchmarks.
     """
 
@@ -51,6 +54,8 @@ class VMConfig:
     code_cache_budget: int = 0
     enable_cache_flush: bool = True
     capture_events: bool = False
+    profile: bool = False
+    profile_timeline: bool = False
     enable_tracing: bool = True
     enable_nesting: bool = True
     enable_oracle: bool = True
@@ -85,6 +90,9 @@ class VM:
         self.array_prototype = None
         self.rng = None
         install_globals(self)
+        #: Optional :class:`repro.obs.profiler.PhaseProfiler`; ``None``
+        #: (the default) keeps every hook site to one attribute test.
+        self.profiler = None
         self.interpreter = Interpreter(self, self.config.dispatch_cost)
         self.recorder = None
         #: Depth of native trace execution (for reentry detection).
@@ -96,6 +104,26 @@ class VM:
             self.monitor = TraceMonitor(self)
         else:
             self.monitor = None
+        if self.config.profile:
+            self.enable_profiling(timeline=self.config.profile_timeline)
+
+    # -- profiling -----------------------------------------------------------
+
+    def enable_profiling(self, timeline: bool = False):
+        """Attach (or return) the VM's phase profiler.
+
+        Must be called before running code for the timeline to cover
+        the whole run.  ``timeline=True`` additionally retains the
+        per-span intervals for :mod:`repro.obs.timeline`.
+        """
+        if self.profiler is None:
+            from repro.obs.profiler import PhaseProfiler
+
+            self.profiler = PhaseProfiler(self, capture_timeline=timeline)
+            self.stats.profiler = self.profiler
+        elif timeline:
+            self.profiler.capture_timeline = True
+        return self.profiler
 
     # -- running code -----------------------------------------------------------
 
@@ -119,17 +147,29 @@ class VM:
         """
         if self.native_depth > 0:
             self.trace_reentered = True
-        recorder = self.recorder
-        if recorder is not None:
-            # A native re-entering the interpreter mid-recording must not
-            # feed the recorder bytecodes from the nested activation; the
-            # nested execution is subsumed by the recorded native call.
-            recorder.suspended += 1
-            try:
-                return self.interpreter.call_function(fn, this_box, args)
-            finally:
-                recorder.suspended -= 1
-        return self.interpreter.call_function(fn, this_box, args)
+        profiler = self.profiler
+        if profiler is not None:
+            # The nested activation interprets even if it was reached
+            # from native code or mid-recording.
+            from repro.obs.profiler import PHASE_INTERPRET
+
+            profiler.enter(PHASE_INTERPRET)
+        try:
+            recorder = self.recorder
+            if recorder is not None:
+                # A native re-entering the interpreter mid-recording must
+                # not feed the recorder bytecodes from the nested
+                # activation; the nested execution is subsumed by the
+                # recorded native call.
+                recorder.suspended += 1
+                try:
+                    return self.interpreter.call_function(fn, this_box, args)
+                finally:
+                    recorder.suspended -= 1
+            return self.interpreter.call_function(fn, this_box, args)
+        finally:
+            if profiler is not None:
+                profiler.exit()
 
     def request_preemption(self) -> None:
         """Ask the VM to preempt at the next loop edge (Section 6.4)."""

@@ -46,12 +46,20 @@ class TestEventStream:
         stream.emit(eventkind.LINK, fragment="branch", exit_id=7, code="f")
         record = json.loads(stream.to_jsonl())
         assert record == {
+            "schema_version": eventkind.EVENT_SCHEMA_VERSION,
             "seq": 1,
             "kind": "link",
             "fragment": "branch",
             "exit_id": 7,
             "code": "f",
         }
+
+    def test_every_record_carries_schema_version(self):
+        stream = EventStream(capture=True)
+        stream.emit(eventkind.RECORD_START, code="f", pc=1)
+        stream.emit(eventkind.SIDE_EXIT, exit_id=0)
+        for line in stream.to_jsonl().splitlines():
+            assert json.loads(line)["schema_version"] == 2
 
     def test_of_kind_and_clear(self):
         stream = EventStream(capture=True)
