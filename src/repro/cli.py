@@ -12,6 +12,9 @@ Usage::
     python -m repro --profile-json p.json prog.js   # profile as JSON
     python -m repro --timeline t.html prog.js # TraceVis-style timeline
     python -m repro -e 'var s=0; for (var i=0;i<99;i++) s+=i; s;'
+    python -m repro --inject-fault compile.assemble:1 prog.js  # chaos run
+    python -m repro --chaos-seed 7 prog.js    # seeded pseudo-random faults
+    python -m repro --fault-sites             # list injection sites
 """
 
 from __future__ import annotations
@@ -105,7 +108,58 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not print the program's completion value",
     )
+    chaos = parser.add_argument_group(
+        "chaos engineering (see docs/INTERNALS.md, Failure domains)"
+    )
+    chaos.add_argument(
+        "--inject-fault",
+        metavar="SITE[:N]",
+        action="append",
+        help=(
+            "inject an internal failure at SITE on its Nth hit (default "
+            "1; ':*' fires every hit); repeatable.  The JIT firewall must "
+            "contain it — the run's result must not change."
+        ),
+    )
+    chaos.add_argument(
+        "--chaos-seed",
+        type=int,
+        metavar="SEED",
+        help="derive a deterministic pseudo-random fault plan from SEED",
+    )
+    chaos.add_argument(
+        "--no-jit-firewall",
+        action="store_true",
+        help="disable the JIT firewall (internal failures escape; testing only)",
+    )
+    chaos.add_argument(
+        "--fault-sites",
+        action="store_true",
+        help="list the registered fault-injection sites and exit",
+    )
     return parser
+
+
+def build_config(args):
+    """A ``VMConfig`` reflecting the chaos flags (None if all default)."""
+    from repro.vm import VMConfig
+
+    if not (args.inject_fault or args.chaos_seed is not None
+            or args.no_jit_firewall):
+        return None
+    config = VMConfig()
+    if args.no_jit_firewall:
+        config.enable_jit_firewall = False
+    if args.inject_fault:
+        from repro.hardening import FaultPlan
+
+        try:
+            config.fault_plan = FaultPlan.parse(args.inject_fault)
+        except ValueError as error:
+            raise SystemExit(f"repro: {error}") from error
+    elif args.chaos_seed is not None:
+        config.chaos_seed = args.chaos_seed
+    return config
 
 
 def load_source(args) -> str:
@@ -180,6 +234,14 @@ def dump_traces(vm: TracingVM, out) -> None:
 def main(argv: Optional[list] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    if args.fault_sites:
+        from repro.hardening import FAULT_SITES
+        from repro.hardening.faults import SITE_HELP
+
+        for site in FAULT_SITES:
+            print(f"{site:22}  {SITE_HELP[site]}", file=out)
+        return 0
+    config = build_config(args)
     source = load_source(args)
 
     if args.compare:
@@ -189,9 +251,12 @@ def main(argv: Optional[list] = None, out=None) -> int:
         if args.profile or args.profile_json or args.timeline:
             print("(--profile is per-engine; ignored with --compare)",
                   file=sys.stderr)
+        if config is not None:
+            print("(chaos flags are per-engine; ignored with --compare)",
+                  file=sys.stderr)
         return run_compare(source, out)
 
-    vm = ENGINES[args.engine]()
+    vm = ENGINES[args.engine](config)
     if args.events or args.dump_events:
         vm.events.capture = True
     if args.profile or args.profile_json or args.timeline:

@@ -33,6 +33,7 @@ import enum
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import events
+from repro.hardening import faults as fault_sites
 
 
 class FragmentState(enum.Enum):
@@ -58,9 +59,12 @@ class TraceCache:
     handle exits) stays in the monitor.
     """
 
-    def __init__(self, config, events):
+    def __init__(self, config, events, faults=None):
         self.config = config
         self.events = events
+        #: Optional fault injector (repro.hardening) for the
+        #: ``link.register`` and ``cache.flush`` sites.
+        self.faults = faults
         #: (id(code), header_pc) -> list of peer TraceTrees.
         self._trees: Dict[Tuple[int, int], List[object]] = {}
         self._hot_counters: Dict[Tuple[int, int], int] = {}
@@ -148,6 +152,8 @@ class TraceCache:
         Returns True if the tree is resident afterwards (always: a
         budget overflow flushes *around* the new tree).
         """
+        if self.faults is not None:
+            self.faults.fire(fault_sites.LINK_REGISTER)
         fragment = tree.fragment
         fragment.state = FragmentState.LINKED
         self._insert_tree(tree)
@@ -170,6 +176,8 @@ class TraceCache:
         budget-overflow flush (the caller only stitches the guard when
         it is).
         """
+        if self.faults is not None:
+            self.faults.fire(fault_sites.LINK_REGISTER)
         fragment.state = FragmentState.LINKED
         tree.branches.append(fragment)
         self._account(fragment)
@@ -232,6 +240,8 @@ class TraceCache:
         triggering compilation is not wasted.  Returns the number of
         fragments retired.
         """
+        if self.faults is not None:
+            self.faults.fire(fault_sites.CACHE_FLUSH)
         retired = 0
         trees_flushed = 0
         freed = self.code_size_used

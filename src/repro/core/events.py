@@ -28,8 +28,9 @@ from typing import Callable, Dict, Iterator, List, Optional
 #: Version of the exported JSONL event records, carried on every record
 #: so offline consumers can detect format changes (see
 #: docs/INTERNALS.md for the schema).  History: 1 = unversioned records
-#: (PR 1); 2 = adds this field.
-EVENT_SCHEMA_VERSION = 2
+#: (PR 1); 2 = adds this field; 3 = adds the firewall kinds
+#: (jit-internal-failure, safe-mode-entered, fault-injected).
+EVENT_SCHEMA_VERSION = 3
 
 # -- event kinds -----------------------------------------------------------------
 
@@ -56,6 +57,14 @@ PEER_OVERFLOW = "peer-overflow"
 BRANCH_CAP = "branch-cap"
 #: A type-unstable exit chained directly into a complementary peer.
 UNSTABLE_LINK = "unstable-link"
+#: The JIT firewall contained an internal failure at a phase boundary
+#: (payload: boundary, error type, header, whether it was injected).
+JIT_INTERNAL_FAILURE = "jit-internal-failure"
+#: The safe-mode circuit breaker tripped: tracing is off for the rest
+#: of the run.
+SAFE_MODE = "safe-mode-entered"
+#: The chaos harness injected a fault (payload: site, hit count).
+FAULT_INJECTED = "fault-injected"
 
 
 class TraceEvent:

@@ -37,7 +37,9 @@ from repro.core.typemap import (
     unbox_for_type,
 )
 from repro.costs import Activity
-from repro.errors import VMInternalError
+from repro.errors import JSThrow, VMInternalError
+from repro.hardening import faults as sites
+from repro.hardening.firewall import JITFirewall
 from repro.interp.frames import Frame
 from repro.runtime.values import UNDEFINED
 
@@ -63,7 +65,7 @@ class TraceMonitor:
         self.vm = vm
         self.config = vm.config
         self.events = vm.events
-        self.oracle = Oracle(enabled=vm.config.enable_oracle)
+        self.oracle = Oracle(enabled=vm.config.enable_oracle, faults=vm.faults)
         self.blacklist = Blacklist(
             backoff=vm.config.blacklist_backoff,
             max_failures=vm.config.max_recording_failures,
@@ -71,7 +73,12 @@ class TraceMonitor:
         )
         #: Owns peer trees, hotness counters, code-size accounting, and
         #: the flush path; all fragment lookup/registration goes here.
-        self.cache = TraceCache(vm.config, vm.events)
+        self.cache = TraceCache(vm.config, vm.events, faults=vm.faults)
+        #: Containment for internal JIT failures (repro.hardening); the
+        #: circuit breaker flips ``disabled`` after repeated trips.
+        self.firewall = JITFirewall(vm, self)
+        #: True once safe mode entered: on_loop_header becomes a no-op.
+        self.disabled = False
         #: VM-wide global slot registry (shared across all trees so
         #: nested trees can exchange globals through one area).
         self.global_slot_of: Dict[str, int] = {}
@@ -93,18 +100,63 @@ class TraceMonitor:
     # -- the main hook ------------------------------------------------------------
 
     def on_loop_header(self, interp, frame: Frame, pc: int) -> None:
+        if self.disabled:
+            return
         vm = self.vm
         profiler = vm.profiler
-        if profiler is None:
-            self._on_loop_header(interp, frame, pc)
-            return
-        from repro.obs.profiler import PHASE_MONITOR
-
-        profiler.enter(PHASE_MONITOR)
         try:
-            self._on_loop_header(interp, frame, pc)
-        finally:
-            profiler.exit()
+            if profiler is None:
+                self._on_loop_header(interp, frame, pc)
+                return
+            from repro.obs.profiler import PHASE_MONITOR
+
+            profiler.enter(PHASE_MONITOR)
+            try:
+                self._on_loop_header(interp, frame, pc)
+            finally:
+                profiler.exit()
+        except Exception as error:
+            # The monitor-level firewall boundary: anything the inner
+            # (compile / native / restore) boundaries did not already
+            # contain — recorder faults raised from close_loop, oracle
+            # or cache bookkeeping bugs, matching failures — lands here.
+            # Recording and compilation are passive, so the interpreter
+            # state is the last committed state already.
+            if isinstance(error, JSThrow):
+                raise
+            boundary = "record" if vm.recorder is not None else "monitor"
+            if not self.contain_internal_failure(
+                boundary, error, code=frame.code, pc=pc
+            ):
+                raise
+
+    def contain_internal_failure(
+        self, boundary: str, error: BaseException, code=None, pc=None,
+        tree=None, fragment=None,
+    ) -> bool:
+        """Route an internal failure to the firewall; False = re-raise."""
+        return self.firewall.contain(
+            boundary, error, code=code, pc=pc, tree=tree, fragment=fragment
+        )
+
+    def enter_safe_mode(self) -> None:
+        """The circuit breaker: tracing off for the rest of the run."""
+        if self.disabled:
+            return
+        vm = self.vm
+        if vm.recorder is not None:
+            self.abort_recording("safe-mode")
+        self.disabled = True
+        vm.config.enable_tracing = False
+        vm.in_safe_mode = True
+        self.cache.flush("safe-mode")
+        self.events.emit(
+            eventkind.SAFE_MODE,
+            failures=self.firewall.failures,
+            threshold=self.firewall.max_failures,
+        )
+        if vm.profiler is not None:
+            vm.profiler.note_safe_mode()
 
     def _on_loop_header(self, interp, frame: Frame, pc: int) -> None:
         vm = self.vm
@@ -231,12 +283,25 @@ class TraceMonitor:
             profiler.enter(PHASE_COMPILE)
         try:
             self._compile_recording(recorder, status)
+        except Exception as error:
+            # The compile/link firewall boundary.  Recording was passive
+            # and the fragment is not yet reachable, so recovery is pure
+            # bookkeeping: retire it, back off the header, and keep
+            # interpreting from the loop-header entry state.
+            if isinstance(error, JSThrow) or not self.contain_internal_failure(
+                "compile", error, tree=recorder.tree, fragment=recorder.fragment
+            ):
+                raise
+            if recorder.is_branch and recorder.anchor_exit is not None:
+                recorder.anchor_exit.recording_blocked = True
         finally:
             if profiler is not None:
                 profiler.exit()
 
     def _compile_recording(self, recorder, status: str) -> None:
         vm = self.vm
+        if vm.faults is not None:
+            vm.faults.fire(sites.COMPILE_ASSEMBLE)
         tree = recorder.tree
         fragment = recorder.fragment
         lir = recorder.pipe.lir
@@ -341,6 +406,10 @@ class TraceMonitor:
             return
         depth_before = len(interp.frames)
         event = self.execute_tree(interp, frame, inner, depth_before - 1)
+        if event is None or recorder.finished:
+            # The firewall contained an inner-tree failure (aborting the
+            # outer recording with it); resume interpreting.
+            return
         clean = (
             event.exit.kind == exitkind.LOOP
             and event.exit.depth == 0
@@ -411,15 +480,22 @@ class TraceMonitor:
 
     def execute_tree(
         self, interp, frame: Frame, tree: TraceTree, base_index: int
-    ) -> ExitEvent:
+    ) -> Optional[ExitEvent]:
         """Import state, run the tree's native code, restore at the exit.
 
         Type-unstable exits chain directly into a complementary peer
         tree when one matches (the paper's Figure 6 linked groups),
         without bouncing through the interpreter's dispatch loop.
+
+        Returns ``None`` when the firewall contained an internal failure
+        (the interpreter was restored to the last committed state).
         """
         while True:
             event = self._execute_tree_once(interp, frame, tree, base_index)
+            if event is None:
+                # The firewall contained a native-phase failure and
+                # restored the interpreter; nothing further to chain.
+                return None
             exit = event.exit
             if (
                 exit.kind != exitkind.UNSTABLE
@@ -444,10 +520,38 @@ class TraceMonitor:
 
     def _execute_tree_once(
         self, interp, frame: Frame, tree: TraceTree, base_index: int
+    ) -> Optional[ExitEvent]:
+        # ``state`` lets the except clause distinguish a failure during
+        # native execution (roll back to the machine's commit snapshot)
+        # from one during exit handling (frames already restored to the
+        # exit state — rolling back would replay committed effects).
+        state = {"machine": None, "phase": "enter"}
+        try:
+            return self._enter_and_run_tree(interp, frame, tree, base_index, state)
+        except Exception as error:
+            if isinstance(error, JSThrow):
+                raise
+            firewall = self.firewall
+            if not firewall.enabled:
+                raise
+            machine = state["machine"]
+            if state["phase"] != "exit" and machine is not None:
+                try:
+                    self._rollback_to_commit(interp, tree, base_index, machine)
+                except Exception:
+                    pass  # last-ditch: containment still proceeds
+            if not firewall.contain("native", error, tree=tree):
+                raise
+            return None
+
+    def _enter_and_run_tree(
+        self, interp, frame: Frame, tree: TraceTree, base_index: int, state: dict
     ) -> ExitEvent:
         from repro.jit.native import ActivationRecord, GlobalArea, NativeMachine
 
         vm = self.vm
+        if vm.faults is not None:
+            vm.faults.fire(sites.NATIVE_ENTRY)
         stats = vm.stats
         stats.tracing.trace_entries += 1
         area = GlobalArea()
@@ -460,8 +564,11 @@ class TraceMonitor:
             import_cycles += costs.AR_IMPORT_PER_SLOT
         self._charge(import_cycles)
         machine = NativeMachine(vm, tree, ar)
+        state["machine"] = machine
         if not machine.ensure_globals(tree):
             raise VMInternalError("tree matched but globals failed to import")
+        machine.take_commit()
+        state["phase"] = "run"
         vm.trace_reentered = False
         vm.native_depth += 1
         profiler = vm.profiler
@@ -486,8 +593,47 @@ class TraceMonitor:
                     stats.ledger.total - cycles_before,
                     tree.iterations - iters_before,
                 )
+        state["phase"] = "exit"
         self.handle_exit_event(interp, event, base_index)
         return event
+
+    def _rollback_to_commit(
+        self, interp, tree: TraceTree, base_index: int, machine
+    ) -> None:
+        """Restore the interpreter to the machine's last committed state.
+
+        At trace entry and at every loop back-edge the AR slots of the
+        entry type map hold exactly the interpreter-visible values and
+        the frames are untouched since entry, so re-boxing the snapshot
+        through the entry type map and flushing the snapshot's global
+        area is semantics-preserving.  Partial-iteration effects past
+        the commit are discarded; the anchor pc is left alone (the
+        interpreter re-dispatches from the loop header).
+        """
+        if machine.commit is None:
+            return  # nothing ran since entry; frames are untouched
+        slots, values, types, loaded, dirty = machine.commit
+        area = machine.ar.globals
+        area.values = values
+        area.types = types
+        area.loaded = loaded
+        area.dirty = dirty
+        frames = interp.frames
+        del frames[base_index + 1:]
+        anchor = frames[base_index]
+        for (loc, trace_type), raw in zip(tree.entry_typemap, slots):
+            box = box_for_type(raw, trace_type)
+            kind = loc[0]
+            if kind == "local":
+                anchor.locals[loc[2]] = box
+            elif kind == "this":
+                anchor.this_box = box
+            else:  # defensive: root entry maps hold only locals + this
+                index = loc[2]
+                while len(anchor.stack) <= index:
+                    anchor.stack.append(UNDEFINED)
+                anchor.stack[index] = box
+        self._flush_area(area)
 
     # -- exit handling -----------------------------------------------------------------------
 
@@ -507,7 +653,29 @@ class TraceMonitor:
         exit.hit_count += 1
         # Flush dirty globals (the only channel global writes take).
         self._flush_area(event.ar.globals)
-        self._restore_state(interp, event, base_index)
+        try:
+            self._restore_state(interp, event, base_index)
+        except Exception as error:
+            if isinstance(error, JSThrow) or not self.firewall.enabled:
+                raise
+            # The restore firewall boundary.  _restore_state is two-
+            # phase (prepare, then non-raising writes) and idempotent,
+            # so a failure between unboxing and frame writeback left the
+            # frames untouched: retry once with injection suspended
+            # (an injected fault's hit already counted), then fall back
+            # to a best-effort structural restore.
+            faults = vm.faults
+            if faults is not None:
+                faults.suspended += 1
+            try:
+                try:
+                    self._restore_state(interp, event, base_index)
+                except Exception:
+                    self._restore_minimal(interp, event, base_index)
+            finally:
+                if faults is not None:
+                    faults.suspended -= 1
+            self.firewall.contain("restore", error, tree=exit.tree)
         if event.exception is not None:
             raise event.exception
         kind = exit.kind
@@ -568,31 +736,39 @@ class TraceMonitor:
         self._charge(cycles)
 
     def _restore_state(self, interp, event: ExitEvent, base_index: int) -> None:
-        """Re-box live values and rebuild interpreter frames (Section 6.1)."""
+        """Re-box live values and rebuild interpreter frames (Section 6.1).
+
+        Exception-safe and idempotent: phase 1 computes every boxed
+        value and frame plan without touching interpreter state, so a
+        failure between unboxing and frame writeback (a boxing bug, or
+        the ``native.exit-restore`` fault site) leaves the frames
+        exactly as they were and the firewall can simply retry; phase 2
+        applies the plan with plain list/attribute writes only.
+        """
         vm = self.vm
         exit = event.exit
         ar = event.ar
         frames = interp.frames
-        del frames[base_index + 1 :]
         anchor = frames[base_index]
         skip_depth = -1
         if exit.kind == exitkind.INNER and event.inner is not None:
             # The nested tree's exit event restores the frame it ran in.
             skip_depth = exit.depth
         cycles = 0
+        # -- phase 1: prepare (no interpreter-state mutation) ----------
         by_depth_stack: Dict[int, Dict[int, object]] = {}
         # Synthesize the inlined frames first (locals default undefined).
         synthesized: List[Frame] = []
-        for index, snapshot in enumerate(exit.frames):
+        for snapshot in exit.frames:
             new_frame = Frame(snapshot.code)
             new_frame.pc = snapshot.resume_pc
             synthesized.append(new_frame)
             cycles += costs.FRAME_SYNTH
-        anchor.pc = exit.anchor_resume_pc
 
         def frame_at(depth: int) -> Frame:
             return anchor if depth == 0 else synthesized[depth - 1]
 
+        writes: List[tuple] = []  # (frame, kind, index, box)
         for loc, trace_type, slot in exit.livemap:
             kind = loc[0]
             if kind == "global":
@@ -604,21 +780,31 @@ class TraceMonitor:
                 continue
             box = box_for_type(ar.read(slot), trace_type)
             cycles += costs.AR_EXPORT_PER_SLOT
-            target = frame_at(depth)
-            if kind == "local":
-                target.locals[loc[2]] = box
-            elif kind == "this":
-                target.this_box = box
-            else:  # stack
+            if kind == "stack":
                 by_depth_stack.setdefault(depth, {})[loc[2]] = box
-        # Rebuild operand stacks at their recorded depths.
+            else:
+                writes.append((frame_at(depth), kind, loc[2] if kind == "local" else None, box))
+        # Plan the operand stacks at their recorded depths.
         depths = [exit.stack_depth0] + [s.stack_depth for s in exit.frames]
-        for depth, frame in enumerate([anchor] + synthesized):
+        stacks: Dict[int, list] = {}
+        for depth in range(len(depths)):
             if depth == skip_depth:
                 continue
             wanted = depths[depth]
             entries = by_depth_stack.get(depth, {})
-            frame.stack[:] = [entries.get(i, UNDEFINED) for i in range(wanted)]
+            stacks[depth] = [entries.get(i, UNDEFINED) for i in range(wanted)]
+        if vm.faults is not None:
+            vm.faults.fire(sites.NATIVE_EXIT_RESTORE)
+        # -- phase 2: commit (plain writes; nothing here raises) -------
+        del frames[base_index + 1 :]
+        anchor.pc = exit.anchor_resume_pc
+        for target, kind, index, box in writes:
+            if kind == "local":
+                target.locals[index] = box
+            else:  # this
+                target.this_box = box
+        for depth, stack in stacks.items():
+            frame_at(depth).stack[:] = stack
         if exit.result_loc is not None and event.boxed_result is not None:
             loc = exit.result_loc
             target = frame_at(loc[1])
@@ -632,3 +818,43 @@ class TraceMonitor:
         if event.inner is not None:
             inner_base = base_index + exit.depth
             self._restore_state(interp, event.inner, inner_base)
+
+    def _restore_minimal(self, interp, event: ExitEvent, base_index: int) -> None:
+        """Last-ditch structural restore after a doubly-failed
+        :meth:`_restore_state`: frames and stacks get their recorded
+        shapes; slots that cannot be re-boxed become undefined.  Keeps
+        the interpreter runnable (the run is already headed for safe
+        mode); per-slot failures are tolerated rather than propagated.
+        """
+        exit = event.exit
+        frames = interp.frames
+        del frames[base_index + 1 :]
+        anchor = frames[base_index]
+        anchor.pc = exit.anchor_resume_pc
+        synthesized: List[Frame] = []
+        for snapshot in exit.frames:
+            new_frame = Frame(snapshot.code)
+            new_frame.pc = snapshot.resume_pc
+            synthesized.append(new_frame)
+        depths = [exit.stack_depth0] + [s.stack_depth for s in exit.frames]
+        for depth, frame in enumerate([anchor] + synthesized):
+            frame.stack[:] = [UNDEFINED] * depths[depth]
+        for loc, trace_type, slot in exit.livemap:
+            kind = loc[0]
+            if kind == "global":
+                continue
+            try:
+                box = box_for_type(event.ar.read(slot), trace_type)
+            except Exception:
+                box = UNDEFINED
+            target = anchor if loc[1] == 0 else synthesized[loc[1] - 1]
+            try:
+                if kind == "local":
+                    target.locals[loc[2]] = box
+                elif kind == "this":
+                    target.this_box = box
+                elif loc[2] < len(target.stack):
+                    target.stack[loc[2]] = box
+            except Exception:
+                pass
+        frames.extend(synthesized)

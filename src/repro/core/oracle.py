@@ -16,10 +16,12 @@ from __future__ import annotations
 class Oracle:
     """Advisory set of variables that must not be int-specialized."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, faults=None):
         self.enabled = enabled
         self._demoted = set()
         self.marks = 0
+        #: Optional fault injector (repro.hardening): ``oracle.record``.
+        self.faults = faults
 
     @staticmethod
     def local_key(code, index: int) -> tuple:
@@ -31,6 +33,10 @@ class Oracle:
 
     def mark_double(self, key: tuple) -> None:
         """Record that this variable has held a non-integer value."""
+        if self.faults is not None:
+            from repro.hardening import faults as fault_sites
+
+            self.faults.fire(fault_sites.ORACLE_RECORD)
         if key not in self._demoted:
             self._demoted.add(key)
             self.marks += 1

@@ -29,6 +29,7 @@ from repro.core.lir import LIR_TO_TRACETYPE, LIns, TRACETYPE_TO_LIR
 from repro.core.tree import Fragment
 from repro.core.typemap import TraceType, type_of_box
 from repro.errors import TraceAbort, VMInternalError
+from repro.hardening import faults as fault_sites
 from repro.jit.native import CallSpec
 from repro.jit.pipeline import ForwardPipeline
 from repro.core import helpers
@@ -103,7 +104,7 @@ class Recorder:
             self.fragment.anchor_exit = anchor_exit
         else:
             self.fragment = tree.fragment
-        self.pipe = ForwardPipeline(vm.config)
+        self.pipe = ForwardPipeline(vm.config, faults=vm.faults)
         self.frames_abs: List[AbsFrame] = []
         self.globals_abs: Dict[str, LIns] = {}
         self.bytecodes_recorded = 0
@@ -371,6 +372,9 @@ class Recorder:
         call :meth:`record_result` after executing it."""
         if self.finished or self.suspended:
             return False
+        faults = self.vm.faults
+        if faults is not None:
+            faults.fire(fault_sites.RECORD_OP)
         if len(self.pipe.lir) > self.config.max_trace_length:
             raise TraceAbort("trace-too-long")
         self.bytecodes_recorded += 1

@@ -41,6 +41,15 @@ class NativeMachineError(VMInternalError):
     """Invariant violation inside the simulated native machine."""
 
 
+class NativeBudgetExceeded(NativeMachineError):
+    """A single trace invocation overran ``native_insn_budget``.
+
+    Raised at loop back-edges (the machine's commit points), so the JIT
+    firewall can roll the interpreter back to the just-committed state
+    and retire the runaway fragment as a graceful deopt.
+    """
+
+
 class TraceAbort(ReproError):
     """Raised inside the recorder to abort the current recording.
 

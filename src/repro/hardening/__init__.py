@@ -1,0 +1,33 @@
+"""Fault isolation for the tracing JIT.
+
+The paper's graceful-degradation contract — "failing a guard side-exits
+back to the interpreter"; a loop the JIT cannot handle is simply
+interpreted forever — only holds if *internal* JIT failures are also
+contained.  This package provides:
+
+* :class:`~repro.hardening.firewall.JITFirewall` — catches internal
+  exceptions at each JIT phase boundary, invalidates the offending
+  fragment/tree, blacklists the header with the Section-3.3 back-off,
+  and resumes the interpreter from the last committed VM state;
+* the safe-mode circuit breaker — after ``max_internal_failures``
+  firewall trips the VM turns tracing off for the rest of the run;
+* :class:`~repro.hardening.faults.FaultInjector` — deterministic,
+  seeded fault injection at a registry of named sites, driving the
+  differential chaos harness (``tests/test_chaos_harness.py``).
+"""
+
+from repro.hardening.faults import (
+    FAULT_SITES,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+)
+from repro.hardening.firewall import JITFirewall
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "JITFirewall",
+]

@@ -1,0 +1,176 @@
+"""Deterministic fault injection for the JIT firewall.
+
+Every firewall boundary (plus a couple of bookkeeping paths that have
+historically harbored bugs in trace JITs) registers a named **site**.
+A :class:`FaultPlan` maps site names to fire-on-Nth-hit triggers; a
+:class:`FaultInjector` counts hits per site and raises
+:class:`InjectedFault` (a :class:`~repro.errors.VMInternalError`) when a
+trigger matches.  Everything is deterministic: hit counters depend only
+on program execution, and seeded plans use :class:`random.Random` so the
+same seed always injects the same faults.
+
+The chaos harness runs the benchmark corpus with a fault injected at
+every site and asserts results are byte-identical to the interpreter
+baseline — which works because every site fires at a *committed* state:
+
+* ``record.op`` / ``pipeline.forward`` / ``compile.assemble`` /
+  ``link.register`` / ``oracle.record`` / ``cache.flush`` — recording
+  and compilation are passive; the interpreter state is untouched;
+* ``native.entry`` — fires before any trace state is imported;
+* ``native.loop-edge`` — fires immediately after the machine refreshes
+  its commit snapshot at a loop back-edge, so rollback restores exactly
+  the crossing state;
+* ``native.exit-restore`` — fires between unboxing and frame writeback
+  inside the (two-phase, idempotent) exit restore, which the firewall
+  simply retries.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import VMInternalError
+
+# -- the site registry ------------------------------------------------------------
+
+#: Recording: top of ``Recorder.record_op`` (one hit per recorded bytecode).
+RECORD_OP = "record.op"
+#: Recording: ``ForwardPipeline.emit`` (one hit per LIR instruction).
+PIPELINE_FORWARD = "pipeline.forward"
+#: Compilation: entry of ``TraceMonitor._compile_recording``.
+COMPILE_ASSEMBLE = "compile.assemble"
+#: Linking: entry of ``TraceCache.register_tree`` / ``register_branch``.
+LINK_REGISTER = "link.register"
+#: Native execution: before a tree's state import at trace entry.
+NATIVE_ENTRY = "native.entry"
+#: Native execution: at ``loopjmp``/``jtree`` back-edges (outermost
+#: machine only — nested trees roll back through the outer commit).
+NATIVE_LOOP_EDGE = "native.loop-edge"
+#: Exit restoration: between unboxing and frame writeback.
+NATIVE_EXIT_RESTORE = "native.exit-restore"
+#: Cache maintenance: entry of ``TraceCache.flush``.
+CACHE_FLUSH = "cache.flush"
+#: Oracle bookkeeping: ``Oracle.mark_double``.
+ORACLE_RECORD = "oracle.record"
+
+#: Every registered injection site, in documentation order.
+FAULT_SITES = (
+    RECORD_OP,
+    PIPELINE_FORWARD,
+    COMPILE_ASSEMBLE,
+    LINK_REGISTER,
+    NATIVE_ENTRY,
+    NATIVE_LOOP_EDGE,
+    NATIVE_EXIT_RESTORE,
+    CACHE_FLUSH,
+    ORACLE_RECORD,
+)
+
+#: One-line description per site (``python -m repro --fault-sites``).
+SITE_HELP = {
+    RECORD_OP: "trace recorder, once per recorded bytecode",
+    PIPELINE_FORWARD: "forward LIR pipeline, once per emitted instruction",
+    COMPILE_ASSEMBLE: "backward filters + codegen, once per compilation",
+    LINK_REGISTER: "trace cache linking, once per registered fragment",
+    NATIVE_ENTRY: "native execution, before state import at trace entry",
+    NATIVE_LOOP_EDGE: "native execution, at loopjmp/jtree back-edges",
+    NATIVE_EXIT_RESTORE: "side-exit restore, between unboxing and writeback",
+    CACHE_FLUSH: "whole-cache flush, once per flush",
+    ORACLE_RECORD: "oracle bookkeeping, once per mark_double",
+}
+
+
+class InjectedFault(VMInternalError):
+    """A deliberately injected internal failure (chaos testing)."""
+
+    def __init__(self, site: str, hit: int):
+        super().__init__(f"injected fault at {site} (hit {hit})")
+        self.site = site
+        self.hit = hit
+
+
+class FaultPlan:
+    """Site name -> fire-on-Nth-hit trigger.
+
+    A trigger is an ``int`` (fire on exactly that hit), the string
+    ``"*"`` (fire on every hit), or a collection of ints.
+    """
+
+    def __init__(self, spec: Dict[str, object]):
+        for site in spec:
+            if site not in FAULT_SITES:
+                raise ValueError(
+                    f"unknown fault site {site!r}; known sites: "
+                    + ", ".join(FAULT_SITES)
+                )
+        self.spec = dict(spec)
+
+    def triggers(self, site: str, hit: int) -> bool:
+        when = self.spec.get(site)
+        if when is None:
+            return False
+        if when == "*":
+            return True
+        if isinstance(when, int):
+            return hit == when
+        return hit in when
+
+    @classmethod
+    def parse(cls, specs: Iterable[str]) -> "FaultPlan":
+        """Build a plan from CLI-style ``SITE`` / ``SITE:N`` / ``SITE:*``
+        strings (bare ``SITE`` means fire on the first hit)."""
+        spec: Dict[str, object] = {}
+        for text in specs:
+            site, _, when = text.partition(":")
+            if not when:
+                spec[site] = 1
+            elif when == "*":
+                spec[site] = "*"
+            else:
+                try:
+                    spec[site] = int(when)
+                except ValueError:
+                    raise ValueError(
+                        f"bad fault spec {text!r}: expected SITE, SITE:N, or SITE:*"
+                    ) from None
+        return cls(spec)
+
+    @classmethod
+    def from_seed(cls, seed: int) -> "FaultPlan":
+        """A deterministic pseudo-random plan: one or two sites, each
+        firing on an early hit (so short programs still reach it)."""
+        rng = random.Random(seed)
+        sites = rng.sample(FAULT_SITES, rng.choice((1, 2)))
+        return cls({site: rng.randint(1, 5) for site in sites})
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.spec!r})"
+
+
+class FaultInjector:
+    """Counts hits per site and raises :class:`InjectedFault` on plan
+    triggers.  ``suspended`` (a counter) disables firing while the
+    firewall itself is recovering, so containment can never recurse into
+    a second injected fault."""
+
+    def __init__(self, plan: FaultPlan, events=None):
+        self.plan = plan
+        self.events = events
+        self.hits: Dict[str, int] = {}
+        self.suspended = 0
+        self.fired: List[str] = []
+
+    def fire(self, site: str) -> None:
+        """Count one hit at ``site``; raise if the plan says so."""
+        if self.suspended:
+            return
+        hit = self.hits.get(site, 0) + 1
+        self.hits[site] = hit
+        if self.plan.triggers(site, hit):
+            self.fired.append(site)
+            if self.events is not None:
+                from repro.core import events as eventkind
+
+                self.events.emit(eventkind.FAULT_INJECTED, site=site, hit=hit)
+            raise InjectedFault(site, hit)

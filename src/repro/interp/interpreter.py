@@ -172,6 +172,17 @@ class Interpreter:
                     vm.monitor.abort_recording(abort.reason)
                     wants_result = False
                     recorder = None
+                except JSThrow:
+                    raise
+                except Exception as error:
+                    # The record firewall boundary: recording is passive
+                    # (the bytecode has not executed yet), so containing
+                    # the failure and dropping the recorder resumes
+                    # interpretation with no state repair needed.
+                    if not vm.monitor.contain_internal_failure("record", error):
+                        raise
+                    wants_result = False
+                    recorder = None
             else:
                 profile.interpreted += 1
                 wants_result = False

@@ -29,7 +29,8 @@ from repro.core import exits as exitmod
 from repro.core.cache import FragmentState
 from repro.core.exits import ExitEvent, SideExit
 from repro.core.typemap import TraceType, box_for_type, type_of_box, unbox_for_type
-from repro.errors import JSThrow, NativeMachineError
+from repro.errors import JSThrow, NativeBudgetExceeded, NativeMachineError
+from repro.hardening import faults as sites
 from repro.runtime.conversions import to_int32, to_uint32
 from repro.runtime.operations import js_mod
 from repro.runtime.values import (
@@ -227,20 +228,33 @@ def _tag_matches(box, trace_type: TraceType) -> bool:
 #: Safety valve: a single trace invocation may not exceed this many
 #: simulated native instructions (catches runaway loops in the VM itself,
 #: not in user programs — user infinite loops still make progress through
-#: preemption exits).
+#: preemption exits).  The default for ``VMConfig.native_insn_budget``;
+#: the check fires at loop back-edges (commit points), so overrunning it
+#: is a graceful deopt through the JIT firewall, not a crash.
 MAX_INSNS_PER_RUN = 200_000_000
 
 
 class NativeMachine:
     """Executes compiled fragments of one trace tree."""
 
-    def __init__(self, vm, tree, ar: ActivationRecord):
+    def __init__(self, vm, tree, ar: ActivationRecord, nested: bool = False):
         self.vm = vm
         self.tree = tree
         self.ar = ar
         self.regs: List[object] = [None] * N_REGS
         self.last_inner_event: Optional[ExitEvent] = None
         self.ovf = False
+        #: Machines created for ``calltree`` calls are nested: they skip
+        #: commit snapshots (the outermost machine's commit is the
+        #: rollback point the firewall uses) and loop-edge fault sites.
+        self.nested = nested
+        #: (entry-typemap slot values, global-area copies) at the last
+        #: commit point (trace entry / loop back-edge); None = none yet.
+        self.commit = None
+        self._commit_slots: Optional[List[int]] = None
+        self._commit_enabled = vm.config.enable_jit_firewall and not nested
+        self._faults = vm.faults if not nested else None
+        self._insn_budget = vm.config.native_insn_budget
 
     # -- global-area management (shared with the monitor) ---------------------
 
@@ -269,6 +283,56 @@ class NativeMachine:
             vm.stats.ledger.charge(Activity.NATIVE, costs.AR_IMPORT_PER_SLOT)
         return True
 
+    # -- commit points (firewall rollback) -------------------------------------
+
+    def take_commit(self) -> None:
+        """Snapshot the interpreter-visible state at a commit point.
+
+        At trace entry and at loop back-edges the entry-typemap AR slots
+        hold exactly the values the interpreter would see at the loop
+        header, and the frames are untouched since entry — so this
+        snapshot is sufficient for the firewall to roll back a failed
+        native execution to the last crossing.
+        """
+        if not self._commit_enabled:
+            return
+        slots = self._commit_slots
+        if slots is None:
+            tree = self.tree
+            slots = self._commit_slots = [
+                tree.slot_of_loc[loc] for loc, _t in tree.entry_typemap
+            ]
+        ar = self.ar
+        area = ar.globals
+        self.commit = (
+            [ar.slots[slot] for slot in slots],
+            dict(area.values),
+            dict(area.types),
+            set(area.loaded),
+            set(area.dirty),
+        )
+
+    def _loop_edge(self, executed: int, cycles: int) -> int:
+        """Commit-point bookkeeping at a loop back-edge; returns the
+        (possibly flushed) cycle accumulator."""
+        if self._commit_enabled:
+            self.take_commit()
+        if executed > self._insn_budget:
+            # Flush the accumulator first so the ledger reflects work
+            # actually simulated, then deopt through the firewall (the
+            # commit just taken is the rollback point).
+            self.vm.stats.ledger.charge(Activity.NATIVE, cycles)
+            raise NativeBudgetExceeded(
+                f"native instruction budget exceeded "
+                f"({executed} > {self._insn_budget})"
+            )
+        faults = self._faults
+        if faults is not None:
+            self.vm.stats.ledger.charge(Activity.NATIVE, cycles)
+            faults.fire(sites.NATIVE_LOOP_EDGE)
+            return 0
+        return cycles
+
     # -- execution ---------------------------------------------------------------
 
     def run(self, fragment) -> ExitEvent:
@@ -286,8 +350,6 @@ class NativeMachine:
 
         while True:
             executed += 1
-            if executed > MAX_INSNS_PER_RUN:
-                raise NativeMachineError("native instruction budget exceeded")
             insn = insns[pc]
             pc += 1
             op = insn.op
@@ -652,11 +714,13 @@ class NativeMachine:
                 profile.native += fragment.bytecount
                 self.tree.iterations += 1
                 stats.tracing.loop_iterations_native += 1
+                cycles = self._loop_edge(executed, cycles)
                 pc = 0
             elif op == "jtree":
                 cycles += costs.NATIVE_JUMP
                 profile.native += fragment.bytecount
                 stats.tracing.loop_iterations_native += 1
+                cycles = self._loop_edge(executed, cycles)
                 fragment = self.tree.fragment
                 insns = fragment.native
                 pc = 0
@@ -747,7 +811,7 @@ class NativeMachine:
         for inner_slot, outer_slot in site.local_mapping:
             inner_ar.slots[inner_slot] = self.ar.slots[outer_slot]
         stats.ledger.charge(Activity.NATIVE, cycles)
-        inner_machine = NativeMachine(self.vm, inner_tree, inner_ar)
+        inner_machine = NativeMachine(self.vm, inner_tree, inner_ar, nested=True)
         if not inner_machine.ensure_globals(inner_tree):
             self.last_inner_event = None
             return -1

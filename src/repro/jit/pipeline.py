@@ -27,6 +27,7 @@ from typing import List, Optional
 
 from repro import costs
 from repro.core.lir import LIns
+from repro.hardening import faults as fault_sites
 from repro.runtime.values import INT_MAX, INT_MIN
 
 _INT_FOLDS = {
@@ -342,7 +343,7 @@ def _make_softfloat(op: str):
 class ForwardPipeline:
     """The assembled forward pipeline the recorder writes into."""
 
-    def __init__(self, config):
+    def __init__(self, config, faults=None):
         self.buffer = Buffer()
         stage = self.buffer
         if config.enable_cse:
@@ -353,6 +354,9 @@ class ForwardPipeline:
         if config.enable_softfloat:
             stage = SoftFloatFilter(stage)
         self.head = stage
+        #: Optional fault injector (repro.hardening); fires the
+        #: ``pipeline.forward`` site once per emitted instruction.
+        self.faults = faults
         #: Instructions sent into the pipeline — together with
         #: ``len(self.lir)`` this measures how much the forward filters
         #: swallow; the phase profiler reports the ratio per run.
@@ -361,6 +365,8 @@ class ForwardPipeline:
     def emit(self, ins: LIns) -> LIns:
         """Send one instruction through the pipeline; returns the SSA
         value the recorder should use for it."""
+        if self.faults is not None:
+            self.faults.fire(fault_sites.PIPELINE_FORWARD)
         self.emitted += 1
         return self.head.process(ins)
 

@@ -75,7 +75,8 @@ ACTIVITY_OF_PHASE = {
 }
 
 #: Version of the profile JSON document (see docs/INTERNALS.md).
-PROFILE_SCHEMA_VERSION = 1
+#: History: 1 = initial; 2 = adds the "firewall" section.
+PROFILE_SCHEMA_VERSION = 2
 
 
 class GuardProfile:
@@ -203,6 +204,12 @@ class PhaseProfiler:
         self.lir_retained = 0
         self._loops: Dict[int, LoopProfile] = {}
         self._loop_order: List[LoopProfile] = []
+        #: Firewall trips by boundary (record / compile / native / ...).
+        self.firewall_trips: Dict[str, int] = {}
+        #: Cycle count at the safe-mode transition (None = never tripped).
+        #: Everything after it accrues to interpret/monitor phases, so
+        #: the Figure 12 fractions stay partition-exact across the flip.
+        self.safe_mode_at: Optional[int] = None
         self._stack: List[str] = []
         self._active = False
         self._last_cycles = 0
@@ -354,6 +361,15 @@ class PhaseProfiler:
         self.lir_emitted += emitted
         self.lir_retained += retained
 
+    def note_firewall_trip(self, boundary: str) -> None:
+        """One contained internal JIT failure at ``boundary``."""
+        self.firewall_trips[boundary] = self.firewall_trips.get(boundary, 0) + 1
+
+    def note_safe_mode(self) -> None:
+        """The safe-mode circuit breaker tripped at the current cycle."""
+        if self.safe_mode_at is None:
+            self.safe_mode_at = self.vm.stats.ledger.total
+
     @property
     def loops(self) -> List[LoopProfile]:
         """Every loop profile, in first-execution order."""
@@ -435,6 +451,10 @@ class PhaseProfiler:
                 for loop in sorted(self._loop_order, key=lambda l: -l.cycles)
             ],
             "lir": {"emitted": self.lir_emitted, "retained": self.lir_retained},
+            "firewall": {
+                "trips": dict(self.firewall_trips),
+                "safe_mode_at": self.safe_mode_at,
+            },
             "timeline": {
                 "intervals": [list(interval) for interval in self.intervals],
                 "truncated": self.timeline_truncated,

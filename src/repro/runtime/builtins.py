@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 
-from repro.errors import JSThrow
+from repro.errors import JSThrow, ReproError
 from repro.runtime import conversions
 from repro.runtime.ffi import TypedSignature
 from repro.runtime.objects import JSArray, JSObject, NativeFunction
@@ -556,10 +556,21 @@ def _js_host_eval(vm, this, args):
     """
     if args and args[0].tag == TAG_STRING:
         try:
-            return make_number(float(eval(args[0].payload, {"__builtins__": {}}, {})))
+            return make_number(_host_eval_compute(args[0].payload))
+        except ReproError:
+            # VM-internal errors (including injected faults) must reach
+            # the firewall — swallowing them here would mask real bugs
+            # as a silent `undefined`.
+            raise
         except Exception:
             return UNDEFINED
     return UNDEFINED
+
+
+def _host_eval_compute(text: str) -> float:
+    """The host-side computation behind ``_js_host_eval`` (separated so
+    tests can patch it to simulate internal failures)."""
+    return float(eval(text, {"__builtins__": {}}, {}))
 
 
 def _js_read_global(vm, this, args):

@@ -93,6 +93,9 @@ class TraceStats:
     cache_flushes: int = 0
     peer_overflows: int = 0
     branch_caps: int = 0
+    internal_failures: int = 0
+    faults_injected: int = 0
+    safe_mode: bool = False
 
     def count_abort(self, reason: str) -> None:
         self.traces_aborted += 1
@@ -139,6 +142,12 @@ class TraceStats:
             self.peer_overflows += 1
         elif kind == eventkind.BRANCH_CAP:
             self.branch_caps += 1
+        elif kind == eventkind.JIT_INTERNAL_FAILURE:
+            self.internal_failures += 1
+        elif kind == eventkind.FAULT_INJECTED:
+            self.faults_injected += 1
+        elif kind == eventkind.SAFE_MODE:
+            self.safe_mode = True
 
 
 @dataclass
@@ -201,6 +210,17 @@ class VMStats:
             lines.append(
                 f"code cache             : {self.tracing.cache_flushes} flushes, "
                 f"{self.tracing.fragments_retired} fragments retired"
+            )
+        if (
+            self.tracing.internal_failures
+            or self.tracing.faults_injected
+            or self.tracing.safe_mode
+        ):
+            lines.append(
+                f"jit firewall           : "
+                f"{self.tracing.internal_failures} internal failures contained, "
+                f"{self.tracing.faults_injected} faults injected, "
+                f"safe mode {'entered' if self.tracing.safe_mode else 'not entered'}"
             )
         if self.tracing.abort_reasons:
             top = self.tracing.top_abort_reasons()

@@ -40,6 +40,16 @@ class VMConfig:
     * ``profile`` — attach a :class:`repro.obs.profiler.PhaseProfiler`
       at construction (``profile_timeline`` additionally retains the
       interval timeline for the TraceVis-style renderers);
+    * ``enable_jit_firewall`` / ``max_internal_failures`` — the JIT
+      firewall (:mod:`repro.hardening`) contains internal JIT failures
+      and, after ``max_internal_failures`` trips, flips the VM into
+      safe mode (tracing off for the rest of the run);
+    * ``native_insn_budget`` — simulated native instructions one trace
+      invocation may execute; checked at loop back-edges so overrunning
+      it is a graceful deopt, not a crash;
+    * ``fault_plan`` / ``chaos_seed`` — deterministic fault injection
+      (a :class:`repro.hardening.FaultPlan`, or a seed from which one
+      is derived) for the chaos harness;
     * the ``enable_*`` flags exist for the ablation benchmarks.
     """
 
@@ -66,6 +76,11 @@ class VMConfig:
     enable_dse: bool = True
     enable_dce: bool = True
     enable_softfloat: bool = False
+    enable_jit_firewall: bool = True
+    max_internal_failures: int = 3
+    native_insn_budget: int = 200_000_000
+    fault_plan: Optional[object] = None
+    chaos_seed: Optional[int] = None
     dispatch_cost: int = costs.DISPATCH
 
 
@@ -98,6 +113,21 @@ class VM:
         #: Depth of native trace execution (for reentry detection).
         self.native_depth = 0
         self.trace_reentered = False
+        #: True once the safe-mode circuit breaker tripped.
+        self.in_safe_mode = False
+        #: Deterministic fault injector (chaos testing); ``None`` unless
+        #: a fault plan or chaos seed was configured, so the happy path
+        #: pays one attribute test per site.
+        self.faults = None
+        if self.config.fault_plan is not None or self.config.chaos_seed is not None:
+            from repro.hardening.faults import FaultInjector, FaultPlan
+
+            plan = self.config.fault_plan
+            if plan is None:
+                plan = FaultPlan.from_seed(self.config.chaos_seed)
+            elif not isinstance(plan, FaultPlan):
+                plan = FaultPlan(plan)
+            self.faults = FaultInjector(plan, self.events)
         if self.config.enable_tracing:
             from repro.core.monitor import TraceMonitor
 
@@ -106,6 +136,11 @@ class VM:
             self.monitor = None
         if self.config.profile:
             self.enable_profiling(timeline=self.config.profile_timeline)
+
+    @property
+    def firewall(self):
+        """The monitor's :class:`repro.hardening.JITFirewall` (or None)."""
+        return self.monitor.firewall if self.monitor is not None else None
 
     # -- profiling -----------------------------------------------------------
 

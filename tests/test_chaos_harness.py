@@ -1,0 +1,116 @@
+"""Differential chaos sweep: injected faults must never change results.
+
+For every registered fault site x every suite benchmark, run the
+tracing VM with a fault injected at that site and assert the
+observation (result, print output, user heap) is byte-identical to the
+pure interpreter's.  This is the testable form of the paper's
+graceful-degradation property: a JIT-internal failure may cost
+performance, never correctness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TracingVM, VMConfig
+from repro.core import events
+from repro.hardening import FAULT_SITES, FaultPlan
+from repro.hardening.chaos import differential_check, run_and_observe
+from repro.suite.programs import PROGRAMS
+
+PROGRAMS_BY_NAME = {program.name: program for program in PROGRAMS}
+
+#: Baseline observations, computed once per program for the whole sweep.
+_BASELINES = {}
+
+
+def baseline_for(name: str):
+    if name not in _BASELINES:
+        observation, _vm = run_and_observe(
+            PROGRAMS_BY_NAME[name].source, engine="baseline"
+        )
+        _BASELINES[name] = observation
+    return _BASELINES[name]
+
+
+def assert_contained(vm):
+    """If any fault actually fired, the firewall must have contained it."""
+    tracing = vm.stats.tracing
+    if tracing.faults_injected == 0:
+        return
+    assert tracing.internal_failures >= 1
+    assert vm.events.counts.get(events.FAULT_INJECTED, 0) >= 1
+    assert vm.events.counts.get(events.JIT_INTERNAL_FAILURE, 0) >= 1
+    for event in vm.events.events:
+        if event.kind == events.JIT_INTERNAL_FAILURE:
+            assert event.payload["injected"] is True
+            assert event.payload["site"] in FAULT_SITES
+
+
+@pytest.mark.parametrize("site", FAULT_SITES)
+@pytest.mark.parametrize("name", sorted(PROGRAMS_BY_NAME))
+def test_single_fault_sweep(site, name):
+    config = VMConfig(fault_plan={site: 1}, capture_events=True)
+    vm = differential_check(
+        PROGRAMS_BY_NAME[name].source, config, baseline=baseline_for(name)
+    )
+    assert_contained(vm)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_seeded_chaos_plans(seed):
+    # Seeded pseudo-random plans (the --chaos-seed path), on a workload
+    # with nested loops, doubles, and calls so most sites are reachable.
+    name = "3d-morph"
+    config = VMConfig(chaos_seed=seed, capture_events=True)
+    vm = differential_check(
+        PROGRAMS_BY_NAME[name].source, config, baseline=baseline_for(name)
+    )
+    assert_contained(vm)
+    # Same seed => same plan: determinism of the harness itself.
+    assert repr(FaultPlan.from_seed(seed)) == repr(vm.faults.plan)
+
+
+def test_every_hit_plan_drives_vm_into_safe_mode():
+    # A fault on *every* compilation attempt trips the breaker: after
+    # max_internal_failures containments the VM stops tracing entirely
+    # -- and the program still computes the right answer.
+    config = VMConfig(
+        fault_plan={"compile.assemble": "*"},
+        max_internal_failures=2,
+        capture_events=True,
+    )
+    vm = differential_check(
+        PROGRAMS_BY_NAME["access-nsieve"].source,
+        config,
+        baseline=baseline_for("access-nsieve"),
+    )
+    tracing = vm.stats.tracing
+    assert tracing.safe_mode is True
+    assert tracing.internal_failures >= 2
+    assert vm.in_safe_mode is True
+    assert vm.config.enable_tracing is False
+    assert vm.monitor.disabled is True
+    assert vm.events.counts.get(events.SAFE_MODE, 0) == 1
+
+
+def test_repeated_single_site_faults_stay_contained():
+    # Multiple distinct sites in one plan, each firing several times.
+    config = VMConfig(
+        fault_plan={"native.loop-edge": (2, 5), "record.op": 3},
+        capture_events=True,
+    )
+    vm = differential_check(PROGRAMS_BY_NAME["bitops-nsieve-bits"].source, config)
+    assert_contained(vm)
+
+
+def test_chaos_run_emits_v3_schema_events():
+    config = VMConfig(fault_plan={"compile.assemble": 1}, capture_events=True)
+    vm = TracingVM(config)
+    vm.run("var s = 0; for (var i = 0; i < 100; ++i) s += i; s;")
+    lines = vm.events.to_jsonl().splitlines()
+    assert lines
+    import json
+
+    first = json.loads(lines[0])
+    assert first["schema_version"] == events.EVENT_SCHEMA_VERSION

@@ -59,7 +59,7 @@ class TestEventStream:
         stream.emit(eventkind.RECORD_START, code="f", pc=1)
         stream.emit(eventkind.SIDE_EXIT, exit_id=0)
         for line in stream.to_jsonl().splitlines():
-            assert json.loads(line)["schema_version"] == 2
+            assert json.loads(line)["schema_version"] == 3
 
     def test_of_kind_and_clear(self):
         stream = EventStream(capture=True)

@@ -23,6 +23,7 @@ class _Tree:
     header_pc = 0
     iterations = 0
     fragment = None
+    entry_typemap = ()  # no state to snapshot at commit points
 
 
 class _Fragment:
@@ -265,15 +266,11 @@ class TestCalls:
 
 class TestRuntimeSafety:
     def test_infinite_loop_budget(self):
-        import repro.jit.native as nat
+        from repro import VMConfig
 
-        old = nat.MAX_INSNS_PER_RUN
-        nat.MAX_INSNS_PER_RUN = 1000
-        try:
-            with pytest.raises(NativeMachineError):
-                run([NativeInsn("movi", dst=0, imm=1), NativeInsn("loopjmp")])
-        finally:
-            nat.MAX_INSNS_PER_RUN = old
+        vm = BaselineVM(VMConfig(native_insn_budget=1000))
+        with pytest.raises(NativeMachineError):
+            run([NativeInsn("movi", dst=0, imm=1), NativeInsn("loopjmp")], vm=vm)
 
     def test_unknown_op_rejected(self):
         with pytest.raises(NativeMachineError):

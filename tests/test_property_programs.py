@@ -176,3 +176,20 @@ def test_random_loops_agree_with_softfloat(source):
     baseline = ALL_ENGINES["baseline"]()
     expected = repr(baseline.run(source))
     assert repr(TracingVM(VMConfig(enable_softfloat=True)).run(source)) == expected, source
+
+
+@given(heap_loop_programs(), st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=60, deadline=None)
+def test_random_loops_survive_random_faults(source, seed):
+    """Chaos mode: a random program under a seeded random fault plan
+    must still match the interpreter, and any fault that fires must be
+    contained by the firewall (never escape as a Python exception)."""
+    from repro import TracingVM, VMConfig
+
+    baseline = ALL_ENGINES["baseline"]()
+    expected = repr(baseline.run(source))
+    vm = TracingVM(VMConfig(chaos_seed=seed))
+    assert repr(vm.run(source)) == expected, (source, seed)
+    tracing = vm.stats.tracing
+    if tracing.faults_injected:
+        assert tracing.internal_failures >= 1, (source, seed)
