@@ -23,8 +23,10 @@ from typing import Dict, List, Optional
 from repro import costs
 from repro.bytecode import opcodes as op
 from repro.bytecode.compiler import Code, compile_program
+from repro.core.preempt import PreemptionMixin
 from repro.costs import Activity
-from repro.errors import JSThrow, VMInternalError
+from repro.errors import GuestFault, JSThrow, VMInternalError
+from repro.exec.limits import string_cells
 from repro.interp.frames import Frame
 from repro.runtime import conversions, operations
 from repro.runtime.builtins import STRING_METHODS, install_globals
@@ -85,20 +87,28 @@ class CompiledMethod:
         self.ics: List[PropertyIC] = []
 
 
-class MethodJITVM:
-    """A VM that compiles every method on first call (no tracing)."""
+class MethodJITVM(PreemptionMixin):
+    """A VM that compiles every method on first call (no tracing).
+
+    Preemption/cancellation plumbing comes from
+    :class:`repro.core.preempt.PreemptionMixin` — the identical flag
+    protocol as :class:`repro.vm.VM`, so the execution supervisor works
+    uniformly across all four engines.
+    """
 
     def __init__(self, config: Optional[VMConfig] = None):
         from repro.core.events import EventStream
 
         self.config = config or VMConfig()
         self.stats = VMStats()
-        #: Present (and empty) so the CLI's --events works uniformly.
+        #: Present so the CLI's --events and the supervisor's guest-
+        #: fault events work uniformly; the stats fold subscribes like
+        #: on the tracing VM (it only ever sees supervisor kinds here).
         self.events = EventStream(capture=self.config.capture_events)
+        self.events.subscribe(self.stats.tracing.apply_event)
         self.globals: Dict[str, Box] = {}
         self.output: List[str] = []
-        self.preempt_flag = False
-        self.preemptions_serviced = 0
+        self._init_preemption()
         self.array_prototype = None
         self.rng = None
         install_globals(self)
@@ -119,17 +129,17 @@ class MethodJITVM:
 
     def run_code(self, code: Code) -> Box:
         frame = Frame(code)
-        return self.execute(frame)
+        try:
+            return self.execute(frame)
+        except GuestFault:
+            # Guest faults unwind the whole job without popping frames
+            # (guest try cannot catch them); drop them so the VM stays
+            # reusable.
+            del self.frames[:]
+            raise
 
     def reenter_call(self, fn, this_box: Box, args: List[Box]) -> Box:
         return self.call_function(fn, this_box, args)
-
-    def request_preemption(self) -> None:
-        self.preempt_flag = True
-
-    def service_preemption(self) -> None:
-        self.preempt_flag = False
-        self.preemptions_serviced += 1
 
     def call_function(self, fn, this_box: Box, args: List[Box]) -> Box:
         if isinstance(fn, NativeFunction):
@@ -327,6 +337,8 @@ def _compile_method(vm: MethodJITVM, code: Code) -> CompiledMethod:
                 value, cycles = operations.add(left, right)
                 stack.append(value)
                 charge(JIT_STEP + cycles)
+                if value.tag == TAG_STRING and vm.meter is not None:
+                    vm.meter.note_cells(string_cells(len(value.payload)), vm)
 
             return handler
         if opcode == op.SUB:
@@ -444,8 +456,11 @@ def _compile_method(vm: MethodJITVM, code: Code) -> CompiledMethod:
 
             def handler(frame):
                 charge(costs.NATIVE_JUMP + (costs.PREEMPT_CHECK if backward else 0))
-                if backward and vm.preempt_flag:
-                    vm.service_preemption()
+                if backward:
+                    if vm.meter is not None:
+                        vm.meter.poll(vm)
+                    if vm.preempt_flag:
+                        vm.service_preemption()
                 frame.pc = target
 
             return handler
@@ -458,8 +473,11 @@ def _compile_method(vm: MethodJITVM, code: Code) -> CompiledMethod:
                 condition = frame.stack.pop()
                 charge(JIT_STEP + costs.TAG_TEST + costs.NATIVE_JUMP)
                 if conversions.to_boolean(condition) == when_true:
-                    if backward and vm.preempt_flag:
-                        vm.service_preemption()
+                    if backward:
+                        if vm.meter is not None:
+                            vm.meter.poll(vm)
+                        if vm.preempt_flag:
+                            vm.service_preemption()
                     frame.pc = target
 
             return handler
@@ -531,6 +549,8 @@ def _compile_method(vm: MethodJITVM, code: Code) -> CompiledMethod:
                 keys = enumerable_keys(obj_box, vm.array_prototype)
                 frame.stack.append(make_object(keys))
                 charge(costs.ALLOC + costs.IC_MISS + keys.length)
+                if vm.meter is not None:
+                    vm.meter.note_cells(1 + keys.length, vm)
 
             return handler
         if opcode == op.DELPROP:
@@ -560,6 +580,8 @@ def _compile_method(vm: MethodJITVM, code: Code) -> CompiledMethod:
             def handler(frame):
                 frame.stack.append(make_object(JSObject()))
                 charge(costs.ALLOC + JIT_STEP)
+                if vm.meter is not None:
+                    vm.meter.note_cells(1, vm)
 
             return handler
         if opcode == op.NEWARR:
@@ -575,6 +597,8 @@ def _compile_method(vm: MethodJITVM, code: Code) -> CompiledMethod:
                         arr.set_element(index, element)
                 stack.append(make_object(arr))
                 charge(costs.ALLOC + count + JIT_STEP)
+                if vm.meter is not None:
+                    vm.meter.note_cells(1 + count, vm)
 
             return handler
 
@@ -597,6 +621,8 @@ def _compile_method(vm: MethodJITVM, code: Code) -> CompiledMethod:
                     stack.append(callee.fn(vm, this_box, args))
                     return None
                 charge(JIT_FRAME_SETUP)
+                if vm.meter is not None:
+                    vm.meter.note_frame_push(len(frames) + 1, vm)
                 frames.append(Frame(callee.code, this_box, args))
                 return _FRAME_SWITCH
 
@@ -622,6 +648,8 @@ def _compile_method(vm: MethodJITVM, code: Code) -> CompiledMethod:
                     return None
                 this_obj = new_object_with_proto(callee)
                 charge(JIT_FRAME_SETUP + costs.SHAPE_TRANSITION)
+                if vm.meter is not None:
+                    vm.meter.note_frame_push(len(frames) + 1, vm)
                 frames.append(Frame(callee.code, make_object(this_obj), args))
                 return _FRAME_SWITCH
 
@@ -740,6 +768,8 @@ def _ic_setprop(vm: MethodJITVM, ic: PropertyIC, obj_box: Box, name: str, value:
     ic.misses += 1
     existing = None if obj.in_dict_mode else obj.shape.lookup(name)
     vm._charge(costs.IC_MISS + (costs.SHAPE_TRANSITION if existing is None else 0))
+    if existing is None and vm.meter is not None:
+        vm.meter.note_cells(1, vm)
     obj.set_property(name, value)
     if not obj.in_dict_mode:
         slot = obj.shape.lookup(name)
@@ -784,8 +814,13 @@ def _jit_setelem(vm: MethodJITVM, obj_box: Box, index_box: Box, value: Box) -> N
     index = _index_of(index_box)
     if isinstance(obj, JSArray) and index is not None:
         vm._charge(costs.TAG_TEST + costs.DENSE_ELEM)
+        growth = index + 1 - obj.length if index >= obj.length else 0
         if obj.set_element(index, value):
+            if growth and vm.meter is not None:
+                vm.meter.note_cells(growth, vm)
             return
     key = conversions.to_property_key(index_box)
     vm._charge(costs.STRING_OP * 2 + costs.PROPERTY_LOOKUP)
+    if vm.meter is not None and obj.get_own(key) is None:
+        vm.meter.note_cells(1, vm)
     obj.set_property(key, value)

@@ -15,6 +15,8 @@ Usage::
     python -m repro --inject-fault compile.assemble:1 prog.js  # chaos run
     python -m repro --chaos-seed 7 prog.js    # seeded pseudo-random faults
     python -m repro --fault-sites             # list injection sites
+    python -m repro --deadline-cycles 200000 prog.js  # bounded run (exit 3)
+    python -m repro batch --suite --deadline-cycles 2000000  # supervisor
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from typing import Optional
 
 from repro.baselines.method_jit import MethodJITVM
 from repro.bytecode.disasm import disassemble
-from repro.errors import JSLiteSyntaxError, JSThrow, ReproError
+from repro.errors import GuestFault, JSLiteSyntaxError, JSThrow, ReproError
 from repro.runtime.conversions import to_string
 from repro.vm import BaselineVM, ThreadedVM, TracingVM
 
@@ -137,7 +139,58 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the registered fault-injection sites and exit",
     )
+    add_limit_arguments(parser)
     return parser
+
+
+def add_limit_arguments(parser) -> None:
+    limits = parser.add_argument_group(
+        "resource limits (see docs/INTERNALS.md, Execution supervision)"
+    )
+    limits.add_argument(
+        "--deadline-cycles",
+        type=int,
+        metavar="N",
+        help="terminate the script after N simulated cycles (ScriptTimeout)",
+    )
+    limits.add_argument(
+        "--heap-quota",
+        type=int,
+        metavar="N",
+        help="terminate after the script allocates N heap cells",
+    )
+    limits.add_argument(
+        "--output-quota",
+        type=int,
+        metavar="N",
+        help="terminate after the script prints N bytes",
+    )
+    limits.add_argument(
+        "--compile-quota",
+        type=int,
+        metavar="N",
+        help="terminate after the JIT spends N simulated cycles compiling",
+    )
+    limits.add_argument(
+        "--stack-quota",
+        type=int,
+        metavar="N",
+        help="terminate when the guest call stack exceeds N frames",
+    )
+
+
+def build_limits(args):
+    """A ``ResourceLimits`` from the quota flags (None if none given)."""
+    from repro.exec import ResourceLimits
+
+    limits = ResourceLimits(
+        deadline_cycles=args.deadline_cycles,
+        heap_quota=args.heap_quota,
+        output_quota=args.output_quota,
+        compile_quota=args.compile_quota,
+        stack_quota=args.stack_quota,
+    )
+    return limits if limits.any() else None
 
 
 def build_config(args):
@@ -231,8 +284,136 @@ def dump_traces(vm: TracingVM, out) -> None:
             print(format_trace(branch.lir), file=out)
 
 
+def run_batch(argv: list, out) -> int:
+    """The ``batch`` subcommand: a supervisor over a queue of jobs."""
+    from repro.exec import Supervisor
+    from repro.suite.programs import PROGRAMS
+
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description=(
+            "Run a queue of programs on one shared VM under the execution "
+            "supervisor: per-job isolation, resource limits, retry, and "
+            "per-tenant degradation.  Guest faults are contained (exit 0)."
+        ),
+    )
+    parser.add_argument("files", nargs="*", help="JSLite source files (jobs)")
+    parser.add_argument(
+        "--suite",
+        action="store_true",
+        help="enqueue the built-in benchmark suite programs as jobs",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default="tracing",
+        help="execution engine (default: tracing)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retries for jobs deopted by cache pressure (default: 1)",
+    )
+    parser.add_argument(
+        "--degrade-after",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "compile-quota breaches before a tenant is demoted to "
+            "interpreter-only mode (default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--dump-events",
+        metavar="FILE",
+        help="write the shared VM's event stream as JSONL to FILE",
+    )
+    add_limit_arguments(parser)
+    args = parser.parse_args(argv)
+
+    from repro.exec import Job
+
+    jobs = []
+    for path in args.files:
+        try:
+            with open(path, "r") as handle:
+                source = handle.read()
+        except OSError as error:
+            raise SystemExit(f"repro: cannot read {path}: {error}") from error
+        stem = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        jobs.append(Job(job_id=stem, source=source, tenant=stem, name=path))
+    if args.suite:
+        for program in PROGRAMS:
+            jobs.append(
+                Job(
+                    job_id=program.name,
+                    source=program.source,
+                    tenant=program.category,
+                    name=program.name,
+                )
+            )
+    if not jobs:
+        raise SystemExit("repro: batch needs files and/or --suite")
+
+    limits = build_limits(args)
+    supervisor = Supervisor(
+        engine=args.engine,
+        limits=limits,
+        max_retries=args.max_retries,
+        degrade_after=args.degrade_after,
+        capture_events=args.dump_events is not None,
+    )
+    results = supervisor.run(jobs)
+
+    print(
+        f"{'job':28} {'tenant':12} {'status':14} {'try':>3} "
+        f"{'mode':11} {'cycles':>12} {'heap':>8} {'out':>6}",
+        file=out,
+    )
+    print("-" * 90, file=out)
+    by_status = {}
+    for result in results:
+        by_status[result.status] = by_status.get(result.status, 0) + 1
+        print(
+            f"{result.job_id:28.28} {result.tenant:12.12} "
+            f"{result.status:14} {result.attempts:>3} "
+            f"{result.engine_mode:11} {result.usage.cycles:>12,} "
+            f"{result.usage.heap_cells:>8,} {result.usage.output_bytes:>6,}",
+            file=out,
+        )
+        if result.fault:
+            print(f"{'':28} `- {result.fault}", file=out)
+    summary = ", ".join(
+        f"{count} {status}" for status, count in sorted(by_status.items())
+    )
+    print("-" * 90, file=out)
+    print(f"{len(results)} jobs: {summary}", file=out)
+    if supervisor.degraded_tenants:
+        names = ", ".join(sorted(supervisor.degraded_tenants))
+        print(f"degraded tenants (interp-only): {names}", file=out)
+    if args.dump_events:
+        try:
+            count = supervisor.vm.events.write_jsonl(args.dump_events)
+        except OSError as error:
+            print(f"repro: cannot write {args.dump_events}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"({count} events written to {args.dump_events})",
+              file=sys.stderr)
+    # Contained guest faults are the supervisor working as designed;
+    # only host-side problems make batch itself fail.
+    return 0
+
+
 def main(argv: Optional[list] = None, out=None) -> int:
     out = out or sys.stdout
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "batch":
+        return run_batch(argv[1:], out)
     args = build_parser().parse_args(argv)
     if args.fault_sites:
         from repro.hardening import FAULT_SITES
@@ -271,8 +452,26 @@ def main(argv: Optional[list] = None, out=None) -> int:
         print(disassemble(code), file=out)
         return 0
 
+    limits = build_limits(args)
+    if limits is not None:
+        vm.install_meter(limits)
     try:
         result = vm.run_code(code)
+    except GuestFault as fault:
+        for line in vm.output:
+            print(line, file=out)
+        print(f"repro: script terminated: {fault}", file=sys.stderr)
+        if args.dump_events:
+            # The breach events are the interesting part of a faulted
+            # run; export them even though the run was terminated.
+            try:
+                count = vm.events.write_jsonl(args.dump_events)
+                print(f"({count} events written to {args.dump_events})",
+                      file=sys.stderr)
+            except OSError as error:
+                print(f"repro: cannot write {args.dump_events}: {error}",
+                      file=sys.stderr)
+        return 3
     except JSThrow as thrown:
         for line in vm.output:
             print(line, file=out)

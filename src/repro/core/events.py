@@ -29,8 +29,10 @@ from typing import Callable, Dict, Iterator, List, Optional
 #: so offline consumers can detect format changes (see
 #: docs/INTERNALS.md for the schema).  History: 1 = unversioned records
 #: (PR 1); 2 = adds this field; 3 = adds the firewall kinds
-#: (jit-internal-failure, safe-mode-entered, fault-injected).
-EVENT_SCHEMA_VERSION = 3
+#: (jit-internal-failure, safe-mode-entered, fault-injected); 4 = adds
+#: the supervisor kinds (script-deadline, quota-exceeded,
+#: script-cancelled, job-retried).
+EVENT_SCHEMA_VERSION = 4
 
 # -- event kinds -----------------------------------------------------------------
 
@@ -65,6 +67,16 @@ JIT_INTERNAL_FAILURE = "jit-internal-failure"
 SAFE_MODE = "safe-mode-entered"
 #: The chaos harness injected a fault (payload: site, hit count).
 FAULT_INJECTED = "fault-injected"
+#: The script overran its simulated-cycle deadline (payload: used,
+#: limit; delivery happens at the next loop-edge safe point).
+SCRIPT_DEADLINE = "script-deadline"
+#: The script overran a resource quota (payload: resource, used, limit).
+QUOTA_EXCEEDED = "quota-exceeded"
+#: The host (or a deterministic cancellation point) cancelled the script.
+SCRIPT_CANCELLED = "script-cancelled"
+#: The supervisor re-queued a job whose quota breach coincided with
+#: trace-cache pressure (payload: job, attempt, backoff).
+JOB_RETRIED = "job-retried"
 
 
 class TraceEvent:

@@ -12,9 +12,15 @@ from __future__ import annotations
 
 from repro import costs
 from repro.core.typemap import TraceType, box_for_type
+from repro.exec.limits import string_cells
 from repro.jit.native import CallSpec
 from repro.runtime.conversions import number_to_string
 from repro.runtime.objects import JSArray, JSObject
+
+# Every helper takes ``vm`` first, which makes helpers the natural
+# heap-metering sites for the *native* execution path: traces allocate
+# only through here, so ``vm.meter`` sees on-trace allocation exactly
+# like the interpreter's opcode sites see off-trace allocation.
 
 
 def js_array_set(vm, arr: JSArray, index: int, value_box) -> bool:
@@ -22,32 +28,48 @@ def js_array_set(vm, arr: JSArray, index: int, value_box) -> bool:
     paper's ``js_Array_set`` call on line 5 of the sieve)."""
     if not isinstance(arr, JSArray):
         return False
-    return arr.set_element(index, value_box)
+    growth = index + 1 - arr.length if index >= arr.length else 0
+    if arr.set_element(index, value_box):
+        if growth and vm.meter is not None:
+            vm.meter.note_cells(growth, vm)
+        return True
+    return False
 
 
 def js_add_property(vm, obj: JSObject, name: str, value_box) -> bool:
     """Create/update a property, including the shape transition."""
     if obj.in_dict_mode:
         return False
+    if vm.meter is not None and obj.get_own(name) is None:
+        vm.meter.note_cells(1, vm)
     obj.set_property(name, value_box)
     return True
 
 
 def js_new_object(vm) -> JSObject:
+    if vm.meter is not None:
+        vm.meter.note_cells(1, vm)
     return JSObject()
 
 
 def js_new_object_with_proto(vm, constructor) -> JSObject:
     """Allocate the ``this`` object for an inlined ``new F(...)``."""
+    if vm.meter is not None:
+        vm.meter.note_cells(1, vm)
     return JSObject(proto=constructor.ensure_prototype())
 
 
 def js_new_array(vm, length: int) -> JSArray:
+    if vm.meter is not None:
+        vm.meter.note_cells(1 + int(length), vm)
     return JSArray(int(length), proto=vm.array_prototype)
 
 
 def js_concat(vm, left: str, right: str) -> str:
-    return left + right
+    result = left + right
+    if vm.meter is not None:
+        vm.meter.note_cells(string_cells(len(result)), vm)
+    return result
 
 
 def js_num_to_str_i(vm, value: int) -> str:

@@ -37,7 +37,7 @@ from repro.core.typemap import (
     unbox_for_type,
 )
 from repro.costs import Activity
-from repro.errors import JSThrow, VMInternalError
+from repro.errors import GuestFault, JSThrow, VMInternalError
 from repro.hardening import faults as sites
 from repro.hardening.firewall import JITFirewall
 from repro.interp.frames import Frame
@@ -121,8 +121,10 @@ class TraceMonitor:
             # contain — recorder faults raised from close_loop, oracle
             # or cache bookkeeping bugs, matching failures — lands here.
             # Recording and compilation are passive, so the interpreter
-            # state is the last committed state already.
-            if isinstance(error, JSThrow):
+            # state is the last committed state already.  Guest faults
+            # (supervisor terminations) are not JIT failures: they pass
+            # through untouched.
+            if isinstance(error, (JSThrow, GuestFault)):
                 raise
             boundary = "record" if vm.recorder is not None else "monitor"
             if not self.contain_internal_failure(
@@ -288,7 +290,9 @@ class TraceMonitor:
             # and the fragment is not yet reachable, so recovery is pure
             # bookkeeping: retire it, back off the header, and keep
             # interpreting from the loop-header entry state.
-            if isinstance(error, JSThrow) or not self.contain_internal_failure(
+            if isinstance(
+                error, (JSThrow, GuestFault)
+            ) or not self.contain_internal_failure(
                 "compile", error, tree=recorder.tree, fragment=recorder.fragment
             ):
                 raise
@@ -529,7 +533,7 @@ class TraceMonitor:
         try:
             return self._enter_and_run_tree(interp, frame, tree, base_index, state)
         except Exception as error:
-            if isinstance(error, JSThrow):
+            if isinstance(error, (JSThrow, GuestFault)):
                 raise
             firewall = self.firewall
             if not firewall.enabled:
@@ -656,7 +660,7 @@ class TraceMonitor:
         try:
             self._restore_state(interp, event, base_index)
         except Exception as error:
-            if isinstance(error, JSThrow) or not self.firewall.enabled:
+            if isinstance(error, (JSThrow, GuestFault)) or not self.firewall.enabled:
                 raise
             # The restore firewall boundary.  _restore_state is two-
             # phase (prepare, then non-raising writes) and idempotent,

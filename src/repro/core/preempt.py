@@ -1,0 +1,115 @@
+"""Shared preemption + supervision plumbing for every engine.
+
+The paper, Section 6.4: the host sets a preemption flag; the
+interpreter checks it at backward jumps and compiled traces load it
+(``ldpreempt``) and guard on it before every loop back-edge.  All four
+engines (baseline, threaded, tracing, method-JIT) need the identical
+plumbing, so it lives in one mixin instead of being hand-copied between
+``repro.vm.VM`` and ``repro.baselines.method_jit.MethodJITVM``.
+
+The mixin is also where the execution supervisor (:mod:`repro.exec`)
+attaches: ``install_meter`` hangs a :class:`repro.exec.ScriptMeter` off
+the VM, and ``service_preemption`` — the one function every safe point
+funnels through — asks the meter to deliver any pending guest fault.
+With no meter installed the happy path pays exactly one attribute test
+per serviced preemption and nothing anywhere else.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.exec.limits import ResourceLimits, ScriptMeter
+
+
+class PreemptionMixin:
+    """Preemption flag, cooperative cancellation, and meter attachment.
+
+    Classes mixing this in must call :meth:`_init_preemption` during
+    construction and expose ``output``, ``globals`` and either an
+    ``interpreter`` with a ``frames`` list or a ``frames`` list of
+    their own (for :meth:`reset_guest_state`).
+    """
+
+    def _init_preemption(self) -> None:
+        self.preempt_flag = False
+        self.preemptions_serviced = 0
+        #: Optional :class:`repro.exec.ScriptMeter`; ``None`` (the
+        #: default) keeps every poll site to one attribute test.
+        self.meter: Optional["ScriptMeter"] = None
+
+    # -- the Section 6.4 flag -------------------------------------------------
+
+    def request_preemption(self) -> None:
+        """Ask the VM to preempt at the next loop edge (Section 6.4)."""
+        self.preempt_flag = True
+
+    def service_preemption(self) -> None:
+        """Acknowledge a preemption at a safe point.
+
+        Called from interpreter backward jumps and from the monitor
+        when a native trace leaves through its PREEMPT side exit.  If a
+        script meter has a pending guest fault, this is where it is
+        raised — by construction only at loop-edge safe points.
+        """
+        self.preempt_flag = False
+        self.preemptions_serviced += 1
+        meter = self.meter
+        if meter is not None:
+            meter.deliver(self)
+
+    # -- supervision ----------------------------------------------------------
+
+    def install_meter(self, limits: "ResourceLimits") -> "ScriptMeter":
+        """Attach a fresh script meter enforcing ``limits`` from now on."""
+        from repro.exec.limits import ScriptMeter
+
+        meter = ScriptMeter(limits, self)
+        self.meter = meter
+        return meter
+
+    def clear_meter(self) -> None:
+        self.meter = None
+
+    def cancel_script(self, reason: str = "cancelled by host") -> None:
+        """Cooperatively cancel the running script (delivered at the
+        next safe point as :class:`repro.errors.ScriptCancelled`)."""
+        from repro.exec.limits import ResourceLimits
+
+        meter = self.meter
+        if meter is None:
+            meter = self.install_meter(ResourceLimits())
+        meter.cancel(self, reason)
+
+    # -- multi-tenant reuse ---------------------------------------------------
+
+    def reset_guest_state(self) -> None:
+        """Scrub guest-visible state so the VM can run the next job.
+
+        Fresh globals (including a reseeded ``Math.random`` and a fresh
+        ``Array.prototype``), empty output, no live frames, no pending
+        preemption or meter.  The trace cache, oracle, blacklist and
+        stats survive — they are host-side and shared across tenants
+        (each compiled trace re-imports globals by name on entry, so
+        traces recorded for one job remain sound for the next).
+        """
+        from repro.runtime.builtins import install_globals
+
+        interp = getattr(self, "interpreter", None)
+        if interp is not None:
+            del interp.frames[:]
+        frames = getattr(self, "frames", None)
+        if frames is not None:
+            del frames[:]
+        recorder = getattr(self, "recorder", None)
+        monitor = getattr(self, "monitor", None)
+        if recorder is not None and monitor is not None:
+            monitor.abort_recording("job-reset")
+        self.native_depth = 0
+        self.trace_reentered = False
+        del self.output[:]
+        self.globals.clear()
+        install_globals(self)
+        self.preempt_flag = False
+        self.meter = None

@@ -50,6 +50,62 @@ class NativeBudgetExceeded(NativeMachineError):
     """
 
 
+class GuestFault(ReproError):
+    """A resource-policy violation by the *guest* program.
+
+    The other half of the graceful-degradation contract: the JIT
+    firewall contains JIT-*internal* failures, while guest faults are
+    deliberate terminations of a script that exceeded its
+    :class:`repro.exec.ResourceLimits`.  They are delivered
+    cooperatively through the preemption flag (paper Section 6.4) so
+    they only fire at interpreter loop edges, call boundaries, or the
+    ``ldpreempt`` guard on native traces — never mid-bytecode — which
+    keeps the heap consistent and the VM reusable afterward.  Guest
+    faults are not catchable by guest ``try``; they unwind the whole
+    job.
+    """
+
+    #: Short machine-readable kind, mirrored into the event stream.
+    kind = "guest-fault"
+
+
+class ScriptTimeout(GuestFault):
+    """The script overran its simulated-cycle deadline."""
+
+    kind = "script-deadline"
+
+    def __init__(self, used: int, limit: int):
+        super().__init__(
+            f"script exceeded its deadline ({used} of {limit} simulated cycles)"
+        )
+        self.used = used
+        self.limit = limit
+
+
+class QuotaExceeded(GuestFault):
+    """The script overran a resource quota (heap, output, compile, stack)."""
+
+    kind = "quota-exceeded"
+
+    def __init__(self, resource: str, used: int, limit: int):
+        super().__init__(
+            f"script exceeded its {resource} quota ({used} of {limit})"
+        )
+        self.resource = resource
+        self.used = used
+        self.limit = limit
+
+
+class ScriptCancelled(GuestFault):
+    """The host (or a deterministic cancellation point) cancelled the script."""
+
+    kind = "script-cancelled"
+
+    def __init__(self, reason: str = "cancelled by host"):
+        super().__init__(f"script cancelled: {reason}")
+        self.reason = reason
+
+
 class TraceAbort(ReproError):
     """Raised inside the recorder to abort the current recording.
 

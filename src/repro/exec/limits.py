@@ -1,0 +1,228 @@
+"""Resource limits and the script meter that enforces them.
+
+The paper's VM (Section 6.4) gives the host exactly one interruption
+primitive: a preemption flag checked at interpreter backward jumps and
+compiled into every native loop back-edge as an ``ldpreempt`` guard.
+The supervisor builds all resource enforcement on top of that single
+safe-point mechanism:
+
+* **detection** happens wherever a resource is consumed — the cycle
+  ledger at loop edges (deadline, compile quota, cancellation points),
+  allocation sites (heap-cell quota), ``print`` (output quota), frame
+  pushes (stack quota).  Detection never raises; it records a pending
+  :class:`repro.errors.GuestFault` and sets the preemption flag.
+* **delivery** happens only in ``service_preemption`` — i.e. at an
+  interpreter loop edge, or when a native trace leaves through its
+  PREEMPT side exit (whose restore has already rebuilt a consistent
+  interpreter state).  The one exception is the frame-push poll: pure
+  recursion never crosses a loop edge, so call boundaries are promoted
+  to delivery points too (the callee frame is not yet pushed, so the
+  state is equally consistent).
+
+Metering charges **zero simulated cycles** — limits are a host-side
+policy, not a guest-visible cost — so benchmark tables are byte-for-
+byte identical with or without a meter installed.  With no meter
+installed (``vm.meter is None``) every poll site pays exactly one
+attribute test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core import events as eventkind
+from repro.costs import Activity
+from repro.errors import GuestFault, QuotaExceeded, ScriptCancelled, ScriptTimeout
+
+#: Simulated heap cells per 8 string characters (strings are metered
+#: coarsely: one header cell plus one cell per 8 chars).
+STRING_CELL_CHARS = 8
+
+
+def string_cells(length: int) -> int:
+    """Heap cells attributed to a string of ``length`` characters."""
+    return 1 + (length >> 3)
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Per-job resource policy; ``None`` disables each limit.
+
+    * ``deadline_cycles`` — total simulated cycles (all activities) the
+      job may consume before :class:`ScriptTimeout`;
+    * ``heap_quota`` — heap cells (object headers, array/property
+      slots, string cells) the job may allocate;
+    * ``output_quota`` — bytes the job may print;
+    * ``compile_quota`` — simulated cycles the job may spend in the
+      COMPILE activity (pathological compile behavior is billable too);
+    * ``stack_quota`` — live interpreter frames (catches unbounded
+      recursion, which never crosses a loop edge);
+    * ``cancel_at_cycles`` — deterministic cancellation point, mainly
+      for tests: behaves as if the host called ``cancel_script`` once
+      the ledger passes this total.
+    """
+
+    deadline_cycles: Optional[int] = None
+    heap_quota: Optional[int] = None
+    output_quota: Optional[int] = None
+    compile_quota: Optional[int] = None
+    stack_quota: Optional[int] = None
+    cancel_at_cycles: Optional[int] = None
+
+    def any(self) -> bool:
+        return any(
+            value is not None
+            for value in (
+                self.deadline_cycles,
+                self.heap_quota,
+                self.output_quota,
+                self.compile_quota,
+                self.stack_quota,
+                self.cancel_at_cycles,
+            )
+        )
+
+
+class ScriptMeter:
+    """Meters one job against its :class:`ResourceLimits`.
+
+    Installed via ``vm.install_meter(limits)``; billing counters start
+    from the VM's current ledger totals so a long-lived multi-tenant VM
+    bills each job only for its own consumption.
+    """
+
+    def __init__(self, limits: ResourceLimits, vm):
+        self.limits = limits
+        ledger = vm.stats.ledger
+        #: Ledger totals at job start (per-job billing baselines).
+        self.start_cycles = ledger.total
+        self.start_compile = ledger.by_activity[Activity.COMPILE]
+        #: Absolute ledger thresholds, precomputed so ``poll`` is a few
+        #: integer compares.
+        self._deadline_total = (
+            None
+            if limits.deadline_cycles is None
+            else self.start_cycles + limits.deadline_cycles
+        )
+        self._cancel_total = (
+            None
+            if limits.cancel_at_cycles is None
+            else self.start_cycles + limits.cancel_at_cycles
+        )
+        self._compile_limit = limits.compile_quota
+        #: Direct-metered consumption.
+        self.heap_cells = 0
+        self.output_bytes = 0
+        self.max_stack = 0
+        #: The breach waiting to be delivered at the next safe point.
+        self.pending: Optional[GuestFault] = None
+        self.delivered = False
+
+    # -- billing ------------------------------------------------------------
+
+    def cycles_used(self, vm) -> int:
+        return vm.stats.ledger.total - self.start_cycles
+
+    def compile_cycles_used(self, vm) -> int:
+        return vm.stats.ledger.by_activity[Activity.COMPILE] - self.start_compile
+
+    # -- detection ----------------------------------------------------------
+
+    def poll(self, vm) -> None:
+        """Ledger-based checks; called at every loop-edge safe point.
+
+        Never raises — a breach only records the pending fault and
+        raises the preemption flag, so delivery happens through the
+        normal Section 6.4 machinery (interpreter loop edge or the
+        trace's PREEMPT guard on its next back-edge).
+        """
+        if self.pending is not None:
+            # Re-arm the flag in case an intermediate service cleared
+            # it without delivering (e.g. an INNER exit unwinding).
+            vm.preempt_flag = True
+            return
+        total = vm.stats.ledger.total
+        if self._deadline_total is not None and total >= self._deadline_total:
+            self._breach(vm, ScriptTimeout(total - self.start_cycles,
+                                           self.limits.deadline_cycles))
+        elif self._cancel_total is not None and total >= self._cancel_total:
+            self._breach(vm, ScriptCancelled("deterministic cancellation point"))
+        elif self._compile_limit is not None:
+            used = self.compile_cycles_used(vm)
+            if used >= self._compile_limit:
+                self._breach(
+                    vm, QuotaExceeded("compile-cycles", used, self._compile_limit)
+                )
+
+    def note_cells(self, n: int, vm) -> None:
+        """Charge ``n`` heap cells to the job (allocation sites)."""
+        self.heap_cells += n
+        quota = self.limits.heap_quota
+        if quota is not None and self.heap_cells > quota and self.pending is None:
+            self._breach(vm, QuotaExceeded("heap-cells", self.heap_cells, quota))
+
+    def note_output(self, nbytes: int, vm) -> None:
+        """Charge ``nbytes`` printed bytes to the job."""
+        self.output_bytes += nbytes
+        quota = self.limits.output_quota
+        if quota is not None and self.output_bytes > quota and self.pending is None:
+            self._breach(vm, QuotaExceeded("output-bytes", self.output_bytes, quota))
+
+    def note_frame_push(self, depth: int, vm) -> None:
+        """Stack check at a call boundary; **delivers immediately**.
+
+        Pure recursion never reaches a loop edge, so the call boundary
+        (callee frame not yet pushed — consistent state) doubles as a
+        delivery point for both the stack quota and the deadline.
+        """
+        if depth > self.max_stack:
+            self.max_stack = depth
+        if self.pending is None:
+            quota = self.limits.stack_quota
+            if quota is not None and depth > quota:
+                self._breach(vm, QuotaExceeded("stack-frames", depth, quota))
+            else:
+                self.poll(vm)
+        if self.pending is not None:
+            self.deliver(vm)
+
+    def cancel(self, vm, reason: str = "cancelled by host") -> None:
+        """Host-initiated cancellation (delivered at the next safe point)."""
+        if self.pending is None:
+            self._breach(vm, ScriptCancelled(reason))
+
+    def _breach(self, vm, fault: GuestFault) -> None:
+        self.pending = fault
+        vm.preempt_flag = True
+        payload = {"fault": type(fault).__name__, "detail": str(fault)}
+        if isinstance(fault, ScriptTimeout):
+            kind = eventkind.SCRIPT_DEADLINE
+            payload.update(used=fault.used, limit=fault.limit)
+        elif isinstance(fault, QuotaExceeded):
+            kind = eventkind.QUOTA_EXCEEDED
+            payload.update(
+                resource=fault.resource, used=fault.used, limit=fault.limit
+            )
+        else:
+            kind = eventkind.SCRIPT_CANCELLED
+            payload.update(reason=getattr(fault, "reason", ""))
+        vm.events.emit(kind, **payload)
+
+    # -- delivery -----------------------------------------------------------
+
+    def deliver(self, vm) -> None:
+        """Raise the pending guest fault (called only from safe points).
+
+        Aborts any in-flight recording first, so a deadline arriving
+        mid-recording tears the recorder down cleanly instead of
+        leaving a half-built fragment in the cache.
+        """
+        fault = self.pending
+        if fault is None:
+            return
+        self.delivered = True
+        monitor = getattr(vm, "monitor", None)
+        if monitor is not None and getattr(vm, "recorder", None) is not None:
+            monitor.abort_recording(f"guest-fault:{fault.kind}")
+        raise fault

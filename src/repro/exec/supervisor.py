@@ -1,0 +1,278 @@
+"""The multi-tenant batch supervisor.
+
+Runs a queue of :class:`Job`\\ s on **one long-lived VM** — the
+ROADMAP's "heavy traffic from millions of users" scenario in
+miniature.  Per job it provides:
+
+* **isolation** — fresh globals / output / frames via
+  :meth:`repro.core.preempt.PreemptionMixin.reset_guest_state`, while
+  the trace cache, oracle, and blacklist survive (identical sources
+  share one compiled :class:`~repro.bytecode.compiler.Code`, so hot
+  traces recorded for one tenant keep paying off for the next);
+* **enforcement** — a :class:`repro.exec.limits.ScriptMeter` bills the
+  job from ledger/allocation/output deltas and terminates it with a
+  typed guest fault on breach;
+* **retry with backoff** — a job whose compile-quota (or deadline)
+  breach coincided with trace-cache flushes may have been *deopted by
+  cache pressure* from other tenants rather than misbehaving itself;
+  it is re-queued a bounded number of times, deterministically backed
+  off behind other jobs, with a ``job-retried`` event;
+* **graceful degradation** — a tenant that repeatedly blows the
+  compile quota is demoted to interpreter-only mode (the monitor is
+  disabled for its jobs), the same lever as the firewall's safe mode
+  but scoped per tenant.
+
+The supervisor never lets a guest fault escape as a raw traceback:
+every job produces a :class:`JobResult` whose ``status`` reflects how
+it ended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core import events as eventkind
+from repro.errors import (
+    GuestFault,
+    JSLiteSyntaxError,
+    JSThrow,
+    QuotaExceeded,
+    ScriptCancelled,
+    ScriptTimeout,
+)
+from repro.exec.limits import ResourceLimits
+
+#: Job completion statuses.
+STATUS_OK = "ok"
+STATUS_TIMEOUT = "timeout"
+STATUS_QUOTA = "quota"
+STATUS_CANCELLED = "cancelled"
+STATUS_JS_ERROR = "js-error"
+STATUS_COMPILE_ERROR = "compile-error"
+
+
+@dataclass
+class Job:
+    """One unit of guest work: a source program owned by a tenant."""
+
+    job_id: str
+    source: str
+    tenant: str = "default"
+    name: Optional[str] = None
+    #: Per-job override; falls back to the supervisor's default limits.
+    limits: Optional[ResourceLimits] = None
+
+
+@dataclass
+class JobUsage:
+    """What one job attempt consumed (per-job billing)."""
+
+    cycles: int = 0
+    compile_cycles: int = 0
+    heap_cells: int = 0
+    output_bytes: int = 0
+    max_stack: int = 0
+
+
+@dataclass
+class JobResult:
+    job_id: str
+    tenant: str
+    status: str
+    attempts: int
+    engine_mode: str
+    usage: JobUsage = field(default_factory=JobUsage)
+    #: Rendered completion value (status "ok" only).
+    result: Optional[str] = None
+    #: Human-readable fault / uncaught-exception description.
+    fault: Optional[str] = None
+    output: Tuple[str, ...] = ()
+    #: Trace-cache flushes observed while this attempt ran (the retry
+    #: heuristic's signal for cache pressure).
+    cache_flushes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+def status_of_fault(fault: GuestFault) -> str:
+    if isinstance(fault, ScriptTimeout):
+        return STATUS_TIMEOUT
+    if isinstance(fault, ScriptCancelled):
+        return STATUS_CANCELLED
+    if isinstance(fault, QuotaExceeded):
+        return STATUS_QUOTA
+    return STATUS_QUOTA
+
+
+class Supervisor:
+    """Runs job queues on one reusable VM under resource limits."""
+
+    def __init__(
+        self,
+        engine: str = "tracing",
+        config=None,
+        limits: Optional[ResourceLimits] = None,
+        max_retries: int = 1,
+        degrade_after: int = 2,
+        capture_events: bool = False,
+    ):
+        self.engine = engine
+        self.limits = limits if limits is not None else ResourceLimits()
+        self.max_retries = max_retries
+        self.degrade_after = degrade_after
+        self.vm = self._make_vm(engine, config, capture_events)
+        #: source -> compiled Code; shared across jobs and tenants so
+        #: identical programs hit the same loop headers (and traces).
+        self._codes: Dict[str, object] = {}
+        #: tenant -> compile-quota breach count (degradation trigger).
+        self._compile_breaches: Dict[str, int] = {}
+        #: Tenants demoted to interpreter-only mode.
+        self.degraded_tenants: Set[str] = set()
+
+    @staticmethod
+    def _make_vm(engine: str, config, capture_events: bool):
+        from repro.baselines.method_jit import MethodJITVM
+        from repro.vm import BaselineVM, ThreadedVM, TracingVM, VMConfig
+
+        engines = {
+            "tracing": TracingVM,
+            "baseline": BaselineVM,
+            "threaded": ThreadedVM,
+            "methodjit": MethodJITVM,
+        }
+        if engine not in engines:
+            raise ValueError(f"unknown engine {engine!r}")
+        if config is None and capture_events:
+            config = VMConfig(capture_events=True)
+        return engines[engine](config)
+
+    # -- the queue ----------------------------------------------------------
+
+    def run(self, jobs: List[Job]) -> List[JobResult]:
+        """Run ``jobs`` to completion; returns one result per job, in
+        completion order (retries re-queue behind other jobs)."""
+        queue: List[Tuple[Job, int]] = [(job, 1) for job in jobs]
+        results: List[JobResult] = []
+        while queue:
+            job, attempt = queue.pop(0)
+            result = self._run_attempt(job, attempt)
+            if self._should_retry(result, attempt):
+                backoff = min(len(queue), 2 ** (attempt - 1))
+                self.vm.events.emit(
+                    eventkind.JOB_RETRIED,
+                    job=job.job_id,
+                    tenant=job.tenant,
+                    attempt=attempt,
+                    backoff=backoff,
+                    status=result.status,
+                )
+                queue.insert(backoff, (job, attempt + 1))
+                continue
+            self._note_outcome(job, result)
+            results.append(result)
+        return results
+
+    def run_source(
+        self, source: str, job_id: str = "job-0", tenant: str = "default"
+    ) -> JobResult:
+        """Convenience: run one source string as a single job."""
+        return self.run([Job(job_id=job_id, source=source, tenant=tenant)])[0]
+
+    def _should_retry(self, result: JobResult, attempt: int) -> bool:
+        if attempt > self.max_retries:
+            return False
+        if result.status not in (STATUS_QUOTA, STATUS_TIMEOUT):
+            return False
+        # Only breaches coinciding with cache pressure are plausibly
+        # the supervisor's fault (recompilation churn from flushes);
+        # a quiet-cache breach is the guest's own behavior.
+        return result.cache_flushes > 0
+
+    def _note_outcome(self, job: Job, result: JobResult) -> None:
+        if result.status == STATUS_QUOTA and result.fault and (
+            "compile-cycles" in result.fault
+        ):
+            count = self._compile_breaches.get(job.tenant, 0) + 1
+            self._compile_breaches[job.tenant] = count
+            if count >= self.degrade_after:
+                self.degraded_tenants.add(job.tenant)
+
+    # -- one attempt --------------------------------------------------------
+
+    def _code_for(self, job: Job):
+        code = self._codes.get(job.source)
+        if code is None:
+            code = self.vm.compile(job.source, name=job.name or job.job_id)
+            self._codes[job.source] = code
+        return code
+
+    def _run_attempt(self, job: Job, attempt: int) -> JobResult:
+        vm = self.vm
+        vm.reset_guest_state()
+        limits = job.limits if job.limits is not None else self.limits
+        meter = vm.install_meter(limits)
+        monitor = getattr(vm, "monitor", None)
+        degraded = job.tenant in self.degraded_tenants
+        saved_disabled = None
+        engine_mode = self.engine
+        if degraded and monitor is not None:
+            saved_disabled = monitor.disabled
+            monitor.disabled = True
+            engine_mode = "interp-only"
+        tracing = vm.stats.tracing
+        flushes_before = tracing.cache_flushes
+        status = STATUS_OK
+        rendered = None
+        fault_text = None
+        try:
+            try:
+                code = self._code_for(job)
+            except JSLiteSyntaxError as error:
+                status = STATUS_COMPILE_ERROR
+                fault_text = str(error)
+            else:
+                from repro.runtime.conversions import to_string
+
+                value = vm.run_code(code)
+                rendered = to_string(value)
+        except GuestFault as fault:
+            status = status_of_fault(fault)
+            fault_text = str(fault)
+        except JSThrow as thrown:
+            from repro.runtime.conversions import to_string
+
+            status = STATUS_JS_ERROR
+            fault_text = f"uncaught exception: {to_string(thrown.value)}"
+        finally:
+            if saved_disabled is not None and not getattr(vm, "in_safe_mode", False):
+                monitor.disabled = saved_disabled
+            usage = JobUsage(
+                cycles=meter.cycles_used(vm),
+                compile_cycles=meter.compile_cycles_used(vm),
+                heap_cells=meter.heap_cells,
+                output_bytes=meter.output_bytes,
+                max_stack=meter.max_stack,
+            )
+            vm.clear_meter()
+        if status == STATUS_OK and meter.pending is not None:
+            # The breach was detected but the program finished before
+            # reaching a delivery safe point: it still counts — the
+            # tenant is billed and the job is marked terminated.
+            status = status_of_fault(meter.pending)
+            fault_text = str(meter.pending)
+            rendered = None
+        return JobResult(
+            job_id=job.job_id,
+            tenant=job.tenant,
+            status=status,
+            attempts=attempt,
+            engine_mode=engine_mode,
+            usage=usage,
+            result=rendered,
+            fault=fault_text,
+            output=tuple(vm.output),
+            cache_flushes=tracing.cache_flushes - flushes_before,
+        )

@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core import events as eventkind
-from repro.errors import JSThrow
+from repro.errors import GuestFault, JSThrow
 
 
 class JITFirewall:
@@ -58,7 +58,10 @@ class JITFirewall:
         blacklist/invalidate; ``fragment`` is additionally retired (for
         compile failures, where the fragment is not yet linked).
         """
-        if not self.enabled or isinstance(error, JSThrow):
+        # Guest throws and supervisor terminations are not JIT-internal
+        # failures — they belong to the guest-fault domain and must
+        # propagate (see docs/INTERNALS.md section 11).
+        if not self.enabled or isinstance(error, (JSThrow, GuestFault)):
             return False
         vm = self.vm
         monitor = self.monitor

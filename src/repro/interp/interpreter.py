@@ -14,7 +14,8 @@ from repro import costs
 from repro.bytecode import opcodes as op
 from repro.bytecode.compiler import Code
 from repro.costs import Activity
-from repro.errors import JSThrow, TraceAbort, VMInternalError
+from repro.errors import GuestFault, JSThrow, TraceAbort, VMInternalError
+from repro.exec.limits import string_cells
 from repro.interp.frames import Frame
 from repro.runtime import conversions, operations
 from repro.runtime.builtins import STRING_METHODS
@@ -73,15 +74,25 @@ class Interpreter:
         frame = Frame(code)
         profiler = self.vm.profiler
         if profiler is None:
-            return self.execute(frame)
+            return self._execute_toplevel(frame)
         # The phase timeline brackets the whole top-level run; phase
         # switches inside come from the monitor / recorder / compiler
         # hook sites, never from the per-bytecode dispatch loop.
         profiler.start()
         try:
-            return self.execute(frame)
+            return self._execute_toplevel(frame)
         finally:
             profiler.finish()
+
+    def _execute_toplevel(self, frame: Frame) -> Box:
+        try:
+            return self.execute(frame)
+        except GuestFault:
+            # Guest faults unwind the whole job without popping frames
+            # (guest ``try`` cannot catch them); drop them here so the
+            # VM stays reusable for the next job.
+            del self.frames[:]
+            raise
 
     def call_function(self, fn, this_box: Box, args: List[Box]) -> Box:
         """Call a JSLite or native function from the host."""
@@ -172,7 +183,7 @@ class Interpreter:
                     vm.monitor.abort_recording(abort.reason)
                     wants_result = False
                     recorder = None
-                except JSThrow:
+                except (JSThrow, GuestFault):
                     raise
                 except Exception as error:
                     # The record firewall boundary: recording is passive
@@ -251,6 +262,8 @@ class Interpreter:
                 value, cycles = operations.add(left, right)
                 stack.append(value)
                 self._charge(cycles + 3 * costs.STACK_OP)
+                if value.tag == TAG_STRING and vm.meter is not None:
+                    vm.meter.note_cells(string_cells(len(value.payload)), vm)
             elif opcode == op.SUB:
                 right = stack.pop()
                 left = stack.pop()
@@ -426,6 +439,8 @@ class Interpreter:
                     + costs.SLOT_ACCESS * max(keys.length, 1)
                     + 2 * costs.STACK_OP
                 )
+                if vm.meter is not None:
+                    vm.meter.note_cells(1 + keys.length, vm)
             elif opcode == op.DELPROP:
                 obj_box = stack.pop()
                 if obj_box.tag != TAG_OBJECT:
@@ -442,6 +457,8 @@ class Interpreter:
             elif opcode == op.NEWOBJ:
                 stack.append(make_object(JSObject()))
                 self._charge(costs.ALLOC + costs.STACK_OP)
+                if vm.meter is not None:
+                    vm.meter.note_cells(1, vm)
                 if wants_result:
                     recorder.record_result(stack[-1])
             elif opcode == op.NEWARR:
@@ -453,6 +470,8 @@ class Interpreter:
                         arr.set_element(index, element)
                 stack.append(make_object(arr))
                 self._charge(costs.ALLOC + (arg + 1) * costs.STACK_OP)
+                if vm.meter is not None:
+                    vm.meter.note_cells(1 + arg, vm)
                 if wants_result:
                     recorder.record_result(stack[-1])
 
@@ -523,6 +542,12 @@ class Interpreter:
     def _check_preemption(self) -> None:
         self._charge(costs.PREEMPT_CHECK)
         vm = self.vm
+        meter = vm.meter
+        if meter is not None:
+            # Ledger-based limit checks (deadline / compile quota /
+            # cancellation); a breach sets the preemption flag so the
+            # fault below is delivered at this loop-edge safe point.
+            meter.poll(vm)
         if vm.preempt_flag:
             vm.service_preemption()
 
@@ -581,6 +606,8 @@ class Interpreter:
             + costs.SLOT_ACCESS
             + (costs.SHAPE_TRANSITION if is_new else 0)
         )
+        if is_new and self.vm.meter is not None:
+            self.vm.meter.note_cells(1, self.vm)
         obj.set_property(name, value)
 
     @staticmethod
@@ -628,7 +655,10 @@ class Interpreter:
             self._charge(costs.TAG_TEST * 2 + costs.DENSE_ELEM)
             if index_box.tag == TAG_DOUBLE:
                 self._charge(costs.D2I)
+            growth = index + 1 - obj.length if index >= obj.length else 0
             if obj.set_element(index, value):
+                if growth and self.vm.meter is not None:
+                    self.vm.meter.note_cells(growth, self.vm)
                 return
         key = conversions.to_property_key(index_box)
         self._charge(costs.TAG_TEST * 2 + costs.STRING_OP * 2)
@@ -660,6 +690,11 @@ class Interpreter:
                 recorder.record_result(result)
             return False
         self._charge(costs.FRAME_SETUP)
+        vm = self.vm
+        if vm.meter is not None:
+            # Pure recursion never crosses a loop edge, so the call
+            # boundary doubles as a stack-quota/deadline safe point.
+            vm.meter.note_frame_push(len(frames) + 1, vm)
         new_frame = Frame(callee.code, this_box, args)
         frames.append(new_frame)
         return True
@@ -688,6 +723,10 @@ class Interpreter:
             return False
         this_obj = new_object_with_proto(callee)
         self._charge(costs.FRAME_SETUP + costs.SHAPE_TRANSITION)
+        vm = self.vm
+        if vm.meter is not None:
+            vm.meter.note_cells(1, vm)
+            vm.meter.note_frame_push(len(frames) + 1, vm)
         new_frame = Frame(callee.code, make_object(this_obj), args)
         frames.append(new_frame)
         return True

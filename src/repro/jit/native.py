@@ -326,6 +326,13 @@ class NativeMachine:
                 f"native instruction budget exceeded "
                 f"({executed} > {self._insn_budget})"
             )
+        meter = self.vm.meter
+        if meter is not None:
+            # Supervisor limit checks.  A breach only raises the
+            # preemption flag; the trace leaves through its PREEMPT
+            # guard (compiled before the next back-edge), which
+            # restores interpreter state before the fault is delivered.
+            meter.poll(self.vm)
         faults = self._faults
         if faults is not None:
             self.vm.stats.ledger.charge(Activity.NATIVE, cycles)

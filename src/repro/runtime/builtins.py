@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 
 from repro.errors import JSThrow, ReproError
+from repro.exec.limits import string_cells
 from repro.runtime import conversions
 from repro.runtime.ffi import TypedSignature
 from repro.runtime.objects import JSArray, JSObject, NativeFunction
@@ -248,6 +249,8 @@ def _str_split(vm, this, args):
     arr = JSArray(proto=vm.array_prototype)
     for index, piece in enumerate(pieces):
         arr.set_element(index, make_string(piece))
+    if vm.meter is not None:
+        vm.meter.note_cells(1 + len(pieces), vm)
     return make_object(arr)
 
 
@@ -262,7 +265,10 @@ def _str_replace(vm, this, args):
 def _str_concat(vm, this, args):
     pieces = [_string_this(this)]
     pieces.extend(conversions.to_string(arg) for arg in args)
-    return make_string("".join(pieces))
+    result = "".join(pieces)
+    if vm.meter is not None:
+        vm.meter.note_cells(string_cells(len(result)), vm)
+    return make_string(result)
 
 
 def _str_trim(vm, this, args):
@@ -298,6 +304,8 @@ def _array_this(this: Box) -> JSArray:
 
 def _arr_push(vm, this, args):
     arr = _array_this(this)
+    if args and vm.meter is not None:
+        vm.meter.note_cells(len(args), vm)
     for arg in args:
         arr.set_element(arr.length, arg)
     return make_number(arr.length)
@@ -345,6 +353,8 @@ def _arr_slice(vm, this, args):
     for out_index, index in enumerate(range(start, min(end, arr.length))):
         value = arr.get_element(index)
         result.set_element(out_index, value if value is not None else UNDEFINED)
+    if vm.meter is not None:
+        vm.meter.note_cells(1 + result.length, vm)
     return make_object(result)
 
 
@@ -381,6 +391,8 @@ def _arr_concat(vm, this, args):
         else:
             result.set_element(out, arg)
             out += 1
+    if vm.meter is not None:
+        vm.meter.note_cells(1 + result.length, vm)
     return make_object(result)
 
 
@@ -397,6 +409,8 @@ def _arr_shift(vm, this, args):
 
 def _arr_unshift(vm, this, args):
     arr = _array_this(this)
+    if args and vm.meter is not None:
+        vm.meter.note_cells(len(args), vm)
     for arg in reversed(args):
         arr.elements.insert(0, arg)
     arr.length += len(args)
@@ -468,6 +482,10 @@ def make_array_prototype() -> JSObject:
 
 def _js_print(vm, this, args):
     text = " ".join(conversions.to_string(arg) for arg in args)
+    if vm.meter is not None:
+        # Output-quota metering: each print costs its text plus the
+        # newline the host would emit.
+        vm.meter.note_output(len(text) + 1, vm)
     vm.output.append(text)
     return UNDEFINED
 
@@ -534,11 +552,15 @@ def _js_is_finite(vm, this, args):
 def _js_array_ctor(vm, this, args):
     if len(args) == 1 and args[0].tag in (TAG_INT, TAG_DOUBLE):
         length = int(conversions.to_number(args[0]))
+        if vm.meter is not None:
+            vm.meter.note_cells(1 + max(length, 0), vm)
         arr = JSArray(length, proto=vm.array_prototype)
         return make_object(arr)
     arr = JSArray(proto=vm.array_prototype)
     for index, arg in enumerate(args):
         arr.set_element(index, arg)
+    if vm.meter is not None:
+        vm.meter.note_cells(1 + len(args), vm)
     return make_object(arr)
 
 

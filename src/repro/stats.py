@@ -96,6 +96,15 @@ class TraceStats:
     internal_failures: int = 0
     faults_injected: int = 0
     safe_mode: bool = False
+    script_deadlines: int = 0
+    quota_breaches: int = 0
+    script_cancels: int = 0
+    jobs_retried: int = 0
+
+    @property
+    def guest_faults(self) -> int:
+        """Total resource-policy violations by the guest program."""
+        return self.script_deadlines + self.quota_breaches + self.script_cancels
 
     def count_abort(self, reason: str) -> None:
         self.traces_aborted += 1
@@ -148,6 +157,14 @@ class TraceStats:
             self.faults_injected += 1
         elif kind == eventkind.SAFE_MODE:
             self.safe_mode = True
+        elif kind == eventkind.SCRIPT_DEADLINE:
+            self.script_deadlines += 1
+        elif kind == eventkind.QUOTA_EXCEEDED:
+            self.quota_breaches += 1
+        elif kind == eventkind.SCRIPT_CANCELLED:
+            self.script_cancels += 1
+        elif kind == eventkind.JOB_RETRIED:
+            self.jobs_retried += 1
 
 
 @dataclass
@@ -221,6 +238,14 @@ class VMStats:
                 f"{self.tracing.internal_failures} internal failures contained, "
                 f"{self.tracing.faults_injected} faults injected, "
                 f"safe mode {'entered' if self.tracing.safe_mode else 'not entered'}"
+            )
+        if self.tracing.guest_faults or self.tracing.jobs_retried:
+            lines.append(
+                f"guest faults           : "
+                f"{self.tracing.script_deadlines} deadlines, "
+                f"{self.tracing.quota_breaches} quota breaches, "
+                f"{self.tracing.script_cancels} cancellations, "
+                f"{self.tracing.jobs_retried} jobs retried"
             )
         if self.tracing.abort_reasons:
             top = self.tracing.top_abort_reasons()

@@ -12,15 +12,19 @@ This is the main public entry point::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro import costs
 from repro.bytecode.compiler import Code, compile_program
 from repro.core.events import EventStream
+from repro.core.preempt import PreemptionMixin
 from repro.interp.interpreter import Interpreter
 from repro.runtime.builtins import install_globals
 from repro.runtime.values import Box
 from repro.stats import VMStats
+
+if TYPE_CHECKING:
+    from repro.hardening.faults import FaultPlan
 
 
 @dataclass
@@ -79,16 +83,19 @@ class VMConfig:
     enable_jit_firewall: bool = True
     max_internal_failures: int = 3
     native_insn_budget: int = 200_000_000
-    fault_plan: Optional[object] = None
+    fault_plan: Optional["FaultPlan"] = None
     chaos_seed: Optional[int] = None
     dispatch_cost: int = costs.DISPATCH
 
 
-class VM:
+class VM(PreemptionMixin):
     """A JSLite virtual machine.
 
     With ``config.enable_tracing`` false this is the plain SpiderMonkey-like
     baseline interpreter; with it true (the default) it is TraceMonkey.
+    Preemption, cancellation, and supervisor metering come from
+    :class:`repro.core.preempt.PreemptionMixin` (shared with the
+    method-JIT baseline).
     """
 
     def __init__(self, config: Optional[VMConfig] = None):
@@ -100,8 +107,7 @@ class VM:
         self.events.subscribe(self.stats.tracing.apply_event)
         self.globals: dict = {}
         self.output: List[str] = []
-        self.preempt_flag = False
-        self.preemptions_serviced = 0
+        self._init_preemption()
         self.array_prototype = None
         self.rng = None
         install_globals(self)
@@ -205,14 +211,6 @@ class VM:
         finally:
             if profiler is not None:
                 profiler.exit()
-
-    def request_preemption(self) -> None:
-        """Ask the VM to preempt at the next loop edge (Section 6.4)."""
-        self.preempt_flag = True
-
-    def service_preemption(self) -> None:
-        self.preempt_flag = False
-        self.preemptions_serviced += 1
 
 
 class TracingVM(VM):

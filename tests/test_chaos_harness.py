@@ -114,3 +114,64 @@ def test_chaos_run_emits_v3_schema_events():
 
     first = json.loads(lines[0])
     assert first["schema_version"] == events.EVENT_SCHEMA_VERSION
+
+
+# -- chaos composed with the execution supervisor ----------------------------
+#
+# The two failure domains must compose: injected JIT-internal faults go
+# to the firewall, resource breaches go to the guest as typed faults,
+# and generous limits must not perturb a chaos run's observable result.
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_seeded_chaos_with_generous_quotas_is_byte_identical(seed):
+    from repro.exec import ResourceLimits
+
+    name = "3d-morph"
+    source = PROGRAMS_BY_NAME[name].source
+    config = VMConfig(chaos_seed=seed, capture_events=True)
+    vm = TracingVM(config)
+    vm.install_meter(
+        ResourceLimits(deadline_cycles=10**9, heap_quota=10**9,
+                       output_quota=10**9, stack_quota=10**6)
+    )
+    result = vm.run(source)
+    from repro.hardening.chaos import observe
+
+    assert observe(vm, result) == baseline_for(name)
+    assert_contained(vm)
+    assert vm.meter.pending is None
+
+
+@pytest.mark.parametrize("site", ["compile.assemble", "native.loop-edge",
+                                  "record.op", "native.exit-restore"])
+def test_injected_fault_inside_quota_limited_job_keeps_typed_fault(site):
+    from repro.errors import ScriptTimeout
+    from repro.exec import ResourceLimits
+
+    config = VMConfig(fault_plan={site: (1, 2)}, capture_events=True)
+    vm = TracingVM(config)
+    vm.install_meter(ResourceLimits(deadline_cycles=250_000))
+    with pytest.raises(ScriptTimeout):
+        vm.run("var i = 0; while (true) { i = i + 1; }")
+    # The injected internal fault was contained by the firewall while
+    # the deadline still surfaced as the guest-fault domain's exception.
+    assert_contained(vm)
+    assert vm.stats.tracing.script_deadlines == 1
+    assert vm.events.counts.get(events.SCRIPT_DEADLINE, 0) == 1
+
+
+def test_supervisor_contains_chaos_jobs():
+    from repro.exec import Job, ResourceLimits, Supervisor
+
+    config = VMConfig(chaos_seed=3, capture_events=True)
+    sup = Supervisor(
+        config=config, limits=ResourceLimits(deadline_cycles=300_000)
+    )
+    results = sup.run([
+        Job("fine", PROGRAMS_BY_NAME["bitops-bitwise-and"].source),
+        Job("hang", "while (true) {}"),
+    ])
+    assert results[0].status == "ok"
+    assert results[1].status == "timeout"
+    assert_contained(sup.vm)

@@ -59,7 +59,10 @@ class TestEventStream:
         stream.emit(eventkind.RECORD_START, code="f", pc=1)
         stream.emit(eventkind.SIDE_EXIT, exit_id=0)
         for line in stream.to_jsonl().splitlines():
-            assert json.loads(line)["schema_version"] == 3
+            assert (
+                json.loads(line)["schema_version"]
+                == eventkind.EVENT_SCHEMA_VERSION
+            )
 
     def test_of_kind_and_clear(self):
         stream = EventStream(capture=True)
