@@ -61,6 +61,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print VM statistics after the run"
     )
     parser.add_argument(
+        "--native-backend",
+        choices=("py", "step"),
+        default="py",
+        help=(
+            "how compiled fragments execute: 'py' compiles each fragment "
+            "to generated Python code, 'step' interprets the simulated "
+            "native instructions one by one (default: py; the simulated-"
+            "cycle tables are identical either way)"
+        ),
+    )
+    parser.add_argument(
         "--compare",
         action="store_true",
         help="run on all four engines and report speedups over the baseline",
@@ -198,9 +209,10 @@ def build_config(args):
     from repro.vm import VMConfig
 
     if not (args.inject_fault or args.chaos_seed is not None
-            or args.no_jit_firewall):
+            or args.no_jit_firewall or args.native_backend != "py"):
         return None
     config = VMConfig()
+    config.native_backend = args.native_backend
     if args.no_jit_firewall:
         config.enable_jit_firewall = False
     if args.inject_fault:

@@ -213,6 +213,24 @@ class TraceCache:
 
     # -- invalidation and flushing --------------------------------------------------
 
+    @staticmethod
+    def _check_callables_dropped(tree) -> None:
+        """A RETIRED fragment must not retain a compiled callable.
+
+        ``Fragment.retire`` drops the Python-backend function and its
+        constants tuple; if one ever survives retirement, evicted code
+        could still execute, so fail loudly right at the eviction site
+        (works under ``-O``, unlike a bare assert).
+        """
+        for fragment in [tree.fragment] + tree.branches:
+            if fragment.state is FragmentState.RETIRED and (
+                getattr(fragment, "py_func", None) is not None
+                or getattr(fragment, "py_consts", None) is not None
+            ):
+                raise AssertionError(
+                    f"retired fragment retains a compiled callable: {fragment!r}"
+                )
+
     def invalidate_header(self, code, header_pc: int, reason: str) -> int:
         """Retire every peer tree at a header (e.g. on blacklisting).
 
@@ -229,6 +247,7 @@ class TraceCache:
         for tree in peers:
             self.code_size_used -= tree.code_size_total
             retired += tree.retire()
+            self._check_callables_dropped(tree)
         return retired
 
     def flush(self, reason: str, keep=None) -> int:
@@ -251,6 +270,7 @@ class TraceCache:
                     continue
                 trees_flushed += 1
                 retired += tree.retire()
+                self._check_callables_dropped(tree)
         self._trees.clear()
         self._hot_counters.clear()
         self._code_refs.clear()

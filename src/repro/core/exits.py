@@ -38,7 +38,7 @@ ERROR = "error"  # a helper threw a JS exception (deep bail + rethrow)
 _exit_ids = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FrameSnapshot:
     """Reconstruction info for one *inlined* frame (depth >= 1).
 
@@ -131,7 +131,7 @@ class SideExit:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class ExitEvent:
     """What the native machine reports when a trace run ends.
 
@@ -148,7 +148,7 @@ class ExitEvent:
     exception: object = None  # a JSThrow to re-raise after restore
 
 
-@dataclass
+@dataclass(slots=True)
 class CallTreeSite:
     """A recorded nested-tree call (paper Section 4.1).
 

@@ -18,6 +18,7 @@ executes a ``LOOPHEADER`` no-op.  Depending on state, the monitor:
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro import costs
@@ -586,6 +587,7 @@ class TraceMonitor:
 
             cycles_before = stats.ledger.total
             iters_before = tree.iterations
+            wall_before = time.perf_counter()
             profiler.enter(PHASE_NATIVE)
             try:
                 event = machine.run(tree.fragment)
@@ -596,6 +598,8 @@ class TraceMonitor:
                     tree,
                     stats.ledger.total - cycles_before,
                     tree.iterations - iters_before,
+                    wall=time.perf_counter() - wall_before,
+                    backend=machine.backend_used,
                 )
         state["phase"] = "exit"
         self.handle_exit_event(interp, event, base_index)

@@ -46,6 +46,9 @@ class Fragment:
         "n_spills",
         "spill_base",
         "backward_stats",
+        "py_func",
+        "py_consts",
+        "py_failed",
     )
 
     def __init__(self, tree, kind: str):
@@ -60,9 +63,19 @@ class Fragment:
         self.n_spills = 0
         self.spill_base = 0
         self.backward_stats = None
+        #: Python-backend callable compiled from ``native`` (and the
+        #: constants tuple keeping its pooled objects alive); dropped on
+        #: retirement so evicted code can never run again.
+        self.py_func = None
+        self.py_consts = None
+        #: Latched on an emission/compile failure so the backend does
+        #: not retry a broken fragment on every invocation.
+        self.py_failed = False
 
     def retire(self) -> None:
         self.state = FragmentState.RETIRED
+        self.py_func = None
+        self.py_consts = None
 
     def __repr__(self) -> str:
         return (

@@ -53,6 +53,10 @@ NATIVE_EXIT_RESTORE = "native.exit-restore"
 CACHE_FLUSH = "cache.flush"
 #: Oracle bookkeeping: ``Oracle.mark_double``.
 ORACLE_RECORD = "oracle.record"
+#: Python backend: entry of ``pycompile.compile_fragment_py`` (once per
+#: fragment emission; fires before any codegen state exists, so the
+#: fragment simply runs on the step machine).
+PYCOMPILE_EMIT = "pycompile.emit"
 
 #: Every registered injection site, in documentation order.
 FAULT_SITES = (
@@ -65,6 +69,7 @@ FAULT_SITES = (
     NATIVE_EXIT_RESTORE,
     CACHE_FLUSH,
     ORACLE_RECORD,
+    PYCOMPILE_EMIT,
 )
 
 #: One-line description per site (``python -m repro --fault-sites``).
@@ -78,6 +83,7 @@ SITE_HELP = {
     NATIVE_EXIT_RESTORE: "side-exit restore, between unboxing and writeback",
     CACHE_FLUSH: "whole-cache flush, once per flush",
     ORACLE_RECORD: "oracle bookkeeping, once per mark_double",
+    PYCOMPILE_EMIT: "python-backend fragment emission, once per fragment",
 }
 
 

@@ -167,6 +167,21 @@ class Interpreter:
         stack = frame.stack
         local_vars = frame.locals
         dispatch_cost = self.dispatch_cost
+        # Hoisted per-iteration lookups (the dispatch loop touches
+        # these on every bytecode): the charge helper and the cost
+        # constants otherwise re-fetched as module attributes.
+        charge = self._charge
+        ALLOC = costs.ALLOC
+        BOX = costs.BOX
+        D2I32 = costs.D2I32
+        FRAME_TEARDOWN = costs.FRAME_TEARDOWN
+        GLOBAL_LOOKUP = costs.GLOBAL_LOOKUP
+        PROPERTY_LOOKUP = costs.PROPERTY_LOOKUP
+        RECORD_PER_BYTECODE = costs.RECORD_PER_BYTECODE
+        SHAPE_TRANSITION = costs.SHAPE_TRANSITION
+        SLOT_ACCESS = costs.SLOT_ACCESS
+        STACK_OP = costs.STACK_OP
+        TAG_TEST = costs.TAG_TEST
 
         while True:
             pc = frame.pc
@@ -176,7 +191,7 @@ class Interpreter:
             recorder = vm.recorder
             if recorder is not None:
                 profile.recorded += 1
-                stats.ledger.charge(Activity.RECORD, costs.RECORD_PER_BYTECODE)
+                stats.ledger.charge(Activity.RECORD, RECORD_PER_BYTECODE)
                 try:
                     wants_result = recorder.record_op(self, frame, pc, opcode, arg)
                 except TraceAbort as abort:
@@ -198,53 +213,53 @@ class Interpreter:
                 profile.interpreted += 1
                 wants_result = False
 
-            self._charge(dispatch_cost)
+            charge(dispatch_cost)
 
             # ---- constants and stack shuffling ----------------------------
             if opcode == op.CONST:
                 stack.append(consts[arg])
-                self._charge(costs.STACK_OP)
+                charge(STACK_OP)
             elif opcode == op.GETLOCAL:
                 stack.append(local_vars[arg])
-                self._charge(costs.SLOT_ACCESS + costs.STACK_OP)
+                charge(SLOT_ACCESS + STACK_OP)
             elif opcode == op.SETLOCAL:
                 local_vars[arg] = stack[-1]
-                self._charge(costs.SLOT_ACCESS)
+                charge(SLOT_ACCESS)
             elif opcode == op.ZERO:
                 stack.append(_ZERO_BOX)
-                self._charge(costs.STACK_OP)
+                charge(STACK_OP)
             elif opcode == op.ONE:
                 stack.append(_ONE_BOX)
-                self._charge(costs.STACK_OP)
+                charge(STACK_OP)
             elif opcode == op.UNDEF:
                 stack.append(UNDEFINED)
-                self._charge(costs.STACK_OP)
+                charge(STACK_OP)
             elif opcode == op.NULL:
                 stack.append(NULL)
-                self._charge(costs.STACK_OP)
+                charge(STACK_OP)
             elif opcode == op.TRUE:
                 stack.append(TRUE)
-                self._charge(costs.STACK_OP)
+                charge(STACK_OP)
             elif opcode == op.FALSE:
                 stack.append(FALSE)
-                self._charge(costs.STACK_OP)
+                charge(STACK_OP)
             elif opcode == op.POP:
                 stack.pop()
-                self._charge(costs.STACK_OP)
+                charge(STACK_OP)
             elif opcode == op.POPV:
                 frame.completion = stack.pop()
-                self._charge(costs.STACK_OP)
+                charge(STACK_OP)
             elif opcode == op.DUP:
                 stack.append(stack[-1])
-                self._charge(costs.STACK_OP)
+                charge(STACK_OP)
             elif opcode == op.SWAP:
                 stack[-1], stack[-2] = stack[-2], stack[-1]
-                self._charge(costs.STACK_OP)
+                charge(STACK_OP)
 
             # ---- globals ---------------------------------------------------
             elif opcode == op.GETGLOBAL:
                 name = names[arg]
-                self._charge(costs.GLOBAL_LOOKUP + costs.STACK_OP)
+                charge(GLOBAL_LOOKUP + STACK_OP)
                 try:
                     stack.append(vm.globals[name])
                 except KeyError:
@@ -253,7 +268,7 @@ class Interpreter:
                     ) from None
             elif opcode == op.SETGLOBAL:
                 vm.globals[names[arg]] = stack[-1]
-                self._charge(costs.GLOBAL_LOOKUP)
+                charge(GLOBAL_LOOKUP)
 
             # ---- arithmetic / logic ----------------------------------------
             elif opcode == op.ADD:
@@ -261,7 +276,7 @@ class Interpreter:
                 left = stack.pop()
                 value, cycles = operations.add(left, right)
                 stack.append(value)
-                self._charge(cycles + 3 * costs.STACK_OP)
+                charge(cycles + 3 * STACK_OP)
                 if value.tag == TAG_STRING and vm.meter is not None:
                     vm.meter.note_cells(string_cells(len(value.payload)), vm)
             elif opcode == op.SUB:
@@ -269,83 +284,83 @@ class Interpreter:
                 left = stack.pop()
                 value, cycles = operations.sub(left, right)
                 stack.append(value)
-                self._charge(cycles + 3 * costs.STACK_OP)
+                charge(cycles + 3 * STACK_OP)
             elif opcode == op.MUL:
                 right = stack.pop()
                 left = stack.pop()
                 value, cycles = operations.mul(left, right)
                 stack.append(value)
-                self._charge(cycles + 3 * costs.STACK_OP)
+                charge(cycles + 3 * STACK_OP)
             elif opcode == op.DIV:
                 right = stack.pop()
                 left = stack.pop()
                 value, cycles = operations.div(left, right)
                 stack.append(value)
-                self._charge(cycles + 3 * costs.STACK_OP)
+                charge(cycles + 3 * STACK_OP)
             elif opcode == op.MOD:
                 right = stack.pop()
                 left = stack.pop()
                 value, cycles = operations.mod(left, right)
                 stack.append(value)
-                self._charge(cycles + 3 * costs.STACK_OP)
+                charge(cycles + 3 * STACK_OP)
             elif opcode == op.NEG:
                 value, cycles = operations.neg(stack.pop())
                 stack.append(value)
-                self._charge(cycles + 2 * costs.STACK_OP)
+                charge(cycles + 2 * STACK_OP)
             elif opcode == op.TONUM:
                 operand = stack[-1]
                 if operand.tag not in (TAG_INT, TAG_DOUBLE):
                     stack[-1] = make_number(conversions.to_number(operand))
-                    self._charge(costs.TAG_TEST + costs.D2I32 + costs.BOX)
+                    charge(TAG_TEST + D2I32 + BOX)
                 else:
-                    self._charge(costs.TAG_TEST)
+                    charge(TAG_TEST)
             elif opcode == op.BITAND:
                 right = stack.pop()
                 left = stack.pop()
                 value, cycles = operations.bitand(left, right)
                 stack.append(value)
-                self._charge(cycles + 3 * costs.STACK_OP)
+                charge(cycles + 3 * STACK_OP)
             elif opcode == op.BITOR:
                 right = stack.pop()
                 left = stack.pop()
                 value, cycles = operations.bitor(left, right)
                 stack.append(value)
-                self._charge(cycles + 3 * costs.STACK_OP)
+                charge(cycles + 3 * STACK_OP)
             elif opcode == op.BITXOR:
                 right = stack.pop()
                 left = stack.pop()
                 value, cycles = operations.bitxor(left, right)
                 stack.append(value)
-                self._charge(cycles + 3 * costs.STACK_OP)
+                charge(cycles + 3 * STACK_OP)
             elif opcode == op.BITNOT:
                 value, cycles = operations.bitnot(stack.pop())
                 stack.append(value)
-                self._charge(cycles + 2 * costs.STACK_OP)
+                charge(cycles + 2 * STACK_OP)
             elif opcode == op.SHL:
                 right = stack.pop()
                 left = stack.pop()
                 value, cycles = operations.shl(left, right)
                 stack.append(value)
-                self._charge(cycles + 3 * costs.STACK_OP)
+                charge(cycles + 3 * STACK_OP)
             elif opcode == op.SHR:
                 right = stack.pop()
                 left = stack.pop()
                 value, cycles = operations.shr(left, right)
                 stack.append(value)
-                self._charge(cycles + 3 * costs.STACK_OP)
+                charge(cycles + 3 * STACK_OP)
             elif opcode == op.USHR:
                 right = stack.pop()
                 left = stack.pop()
                 value, cycles = operations.ushr(left, right)
                 stack.append(value)
-                self._charge(cycles + 3 * costs.STACK_OP)
+                charge(cycles + 3 * STACK_OP)
             elif opcode in (op.LT, op.LE, op.GT, op.GE):
                 right = stack.pop()
                 left = stack.pop()
                 relop = _RELOP_TEXT[opcode]
                 value, cycles = operations.compare(left, right, relop)
                 stack.append(value)
-                self._charge(cycles + 3 * costs.STACK_OP)
+                charge(cycles + 3 * STACK_OP)
             elif opcode in (op.EQ, op.NE, op.STRICTEQ, op.STRICTNE):
                 right = stack.pop()
                 left = stack.pop()
@@ -353,15 +368,15 @@ class Interpreter:
                 negate = opcode in (op.NE, op.STRICTNE)
                 value, cycles = operations.equals(left, right, strict, negate)
                 stack.append(value)
-                self._charge(cycles + 3 * costs.STACK_OP)
+                charge(cycles + 3 * STACK_OP)
             elif opcode == op.NOT:
                 value, cycles = operations.logical_not(stack.pop())
                 stack.append(value)
-                self._charge(cycles + 2 * costs.STACK_OP)
+                charge(cycles + 2 * STACK_OP)
             elif opcode == op.TYPEOF:
                 value, cycles = operations.typeof_op(stack.pop())
                 stack.append(value)
-                self._charge(cycles + 2 * costs.STACK_OP)
+                charge(cycles + 2 * STACK_OP)
 
             # ---- control flow -----------------------------------------------
             elif opcode == op.JUMP:
@@ -370,26 +385,26 @@ class Interpreter:
                 frame.pc = arg
             elif opcode == op.IFFALSE:
                 condition = stack.pop()
-                self._charge(costs.STACK_OP + costs.TAG_TEST)
+                charge(STACK_OP + TAG_TEST)
                 if not conversions.to_boolean(condition):
                     if arg <= pc:
                         self._check_preemption()
                     frame.pc = arg
             elif opcode == op.IFTRUE:
                 condition = stack.pop()
-                self._charge(costs.STACK_OP + costs.TAG_TEST)
+                charge(STACK_OP + TAG_TEST)
                 if conversions.to_boolean(condition):
                     if arg <= pc:
                         self._check_preemption()
                     frame.pc = arg
             elif opcode == op.ANDJMP:
-                self._charge(costs.STACK_OP + costs.TAG_TEST)
+                charge(STACK_OP + TAG_TEST)
                 if not conversions.to_boolean(stack[-1]):
                     frame.pc = arg
                 else:
                     stack.pop()
             elif opcode == op.ORJMP:
-                self._charge(costs.STACK_OP + costs.TAG_TEST)
+                charge(STACK_OP + TAG_TEST)
                 if conversions.to_boolean(stack[-1]):
                     frame.pc = arg
                 else:
@@ -433,11 +448,11 @@ class Interpreter:
                 obj_box = stack.pop()
                 keys = enumerable_keys(obj_box, vm.array_prototype)
                 stack.append(make_object(keys))
-                self._charge(
-                    costs.ALLOC
-                    + costs.PROPERTY_LOOKUP
-                    + costs.SLOT_ACCESS * max(keys.length, 1)
-                    + 2 * costs.STACK_OP
+                charge(
+                    ALLOC
+                    + PROPERTY_LOOKUP
+                    + SLOT_ACCESS * max(keys.length, 1)
+                    + 2 * STACK_OP
                 )
                 if vm.meter is not None:
                     vm.meter.note_cells(1 + keys.length, vm)
@@ -445,18 +460,18 @@ class Interpreter:
                 obj_box = stack.pop()
                 if obj_box.tag != TAG_OBJECT:
                     raise JSThrow(make_string("TypeError: delete on non-object"))
-                self._charge(costs.PROPERTY_LOOKUP + costs.SHAPE_TRANSITION)
+                charge(PROPERTY_LOOKUP + SHAPE_TRANSITION)
                 stack.append(make_bool(obj_box.payload.delete_property(names[arg])))
             elif opcode == op.INITPROP:
                 value = stack.pop()
                 obj_box = stack[-1]
                 obj_box.payload.set_property(names[arg], value)
-                self._charge(costs.SHAPE_TRANSITION + costs.SLOT_ACCESS)
+                charge(SHAPE_TRANSITION + SLOT_ACCESS)
 
             # ---- allocation -----------------------------------------------------
             elif opcode == op.NEWOBJ:
                 stack.append(make_object(JSObject()))
-                self._charge(costs.ALLOC + costs.STACK_OP)
+                charge(ALLOC + STACK_OP)
                 if vm.meter is not None:
                     vm.meter.note_cells(1, vm)
                 if wants_result:
@@ -469,7 +484,7 @@ class Interpreter:
                     for index, element in enumerate(elements):
                         arr.set_element(index, element)
                 stack.append(make_object(arr))
-                self._charge(costs.ALLOC + (arg + 1) * costs.STACK_OP)
+                charge(ALLOC + (arg + 1) * STACK_OP)
                 if vm.meter is not None:
                     vm.meter.note_cells(1 + arg, vm)
                 if wants_result:
@@ -507,7 +522,7 @@ class Interpreter:
             elif opcode == op.RETURN or opcode == op.RETUNDEF:
                 value = stack.pop() if opcode == op.RETURN else UNDEFINED
                 frames.pop()
-                self._charge(costs.FRAME_TEARDOWN)
+                charge(FRAME_TEARDOWN)
                 if len(frames) == base_depth:
                     return value
                 caller = frames[-1]
@@ -523,14 +538,14 @@ class Interpreter:
                 raise JSThrow(stack.pop())
             elif opcode == op.TRYPUSH:
                 frame.try_stack.append((arg, len(stack)))
-                self._charge(costs.STACK_OP)
+                charge(STACK_OP)
             elif opcode == op.TRYPOP:
                 frame.try_stack.pop()
-                self._charge(costs.STACK_OP)
+                charge(STACK_OP)
 
             elif opcode == op.THIS:
                 stack.append(frame.this_box)
-                self._charge(costs.STACK_OP)
+                charge(STACK_OP)
             elif opcode == op.END:
                 frames.pop()
                 return frame.completion

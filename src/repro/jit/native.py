@@ -101,7 +101,7 @@ def _reg_name(index: int) -> str:
     return f"f{index - N_INT_REGS}"
 
 
-@dataclass
+@dataclass(slots=True)
 class CallSpec:
     """How a ``call`` instruction invokes its target.
 
@@ -237,6 +237,23 @@ MAX_INSNS_PER_RUN = 200_000_000
 class NativeMachine:
     """Executes compiled fragments of one trace tree."""
 
+    __slots__ = (
+        "vm",
+        "tree",
+        "ar",
+        "regs",
+        "last_inner_event",
+        "ovf",
+        "nested",
+        "commit",
+        "_commit_slots",
+        "_commit_enabled",
+        "_faults",
+        "_insn_budget",
+        "_backend_py",
+        "backend_used",
+    )
+
     def __init__(self, vm, tree, ar: ActivationRecord, nested: bool = False):
         self.vm = vm
         self.tree = tree
@@ -255,6 +272,10 @@ class NativeMachine:
         self._commit_enabled = vm.config.enable_jit_firewall and not nested
         self._faults = vm.faults if not nested else None
         self._insn_budget = vm.config.native_insn_budget
+        self._backend_py = getattr(vm.config, "native_backend", "py") == "py"
+        #: Which backend actually executed the last ``run`` ("py" or
+        #: "step"); a compiled run that deopts mid-flight reads "step".
+        self.backend_used = "step"
 
     # -- global-area management (shared with the monitor) ---------------------
 
@@ -343,7 +364,28 @@ class NativeMachine:
     # -- execution ---------------------------------------------------------------
 
     def run(self, fragment) -> ExitEvent:
-        """Run ``fragment`` (following stitches and loop edges) to an exit."""
+        """Run ``fragment`` (following stitches and loop edges) to an exit.
+
+        Dispatches to the configured backend: ``py`` runs fragments as
+        generated Python functions (:mod:`repro.jit.pycompile`),
+        transparently falling back to the step machine per fragment;
+        ``step`` interprets the ``NativeInsn`` stream directly.  Both
+        charge identical simulated cycles at identical points.
+        """
+        if self._backend_py:
+            from repro.jit.pycompile import run_compiled
+
+            return run_compiled(self, fragment)
+        self.backend_used = "step"
+        return self.run_step(fragment)
+
+    def run_step(self, fragment, executed: int = 0, cycles: int = 0) -> ExitEvent:
+        """The stepped backend: interpret ``NativeInsn``s one at a time.
+
+        ``executed``/``cycles`` seed the instruction counter and cycle
+        accumulator so a compiled run can deopt into this loop mid-trace
+        without perturbing budgets or ledger flush points.
+        """
         vm = self.vm
         stats = vm.stats
         ledger = stats.ledger
@@ -352,8 +394,25 @@ class NativeMachine:
         ar = self.ar
         insns = fragment.native
         pc = 0
-        executed = 0
-        cycles = 0
+        # Hoisted per-iteration lookups: cost constants and bound
+        # methods otherwise re-fetched on every simulated instruction.
+        charge = ledger.charge
+        isnan = math.isnan
+        INNER = exitmod.INNER
+        NATIVE_LOAD = costs.NATIVE_LOAD
+        NATIVE_STORE = costs.NATIVE_STORE
+        NATIVE_MOV = costs.NATIVE_MOV
+        NATIVE_ALU = costs.NATIVE_ALU
+        NATIVE_FALU = costs.NATIVE_FALU
+        NATIVE_I2D = costs.NATIVE_I2D
+        NATIVE_D2I = costs.NATIVE_D2I
+        NATIVE_D2I32 = costs.NATIVE_D2I32
+        NATIVE_GUARD = costs.NATIVE_GUARD
+        NATIVE_JUMP = costs.NATIVE_JUMP
+        BOX = costs.BOX
+        STRING_OP = costs.STRING_OP
+        FFI_BOX_PER_ARG = costs.FFI_BOX_PER_ARG
+        CALLTREE_CALL = costs.CALLTREE_CALL
 
         while True:
             executed += 1
@@ -364,77 +423,77 @@ class NativeMachine:
             # ---- moves and AR access ------------------------------------
             if op == "ldar":
                 regs[insn.dst] = ar.read(insn.imm)
-                cycles += costs.NATIVE_LOAD
+                cycles += NATIVE_LOAD
             elif op == "star":
                 slot = insn.imm
                 if slot >= 0:
                     ar.slots[slot] = regs[insn.a]
                 else:
                     ar.globals.write(-slot - 1, regs[insn.a], insn.aux)
-                cycles += costs.NATIVE_STORE
+                cycles += NATIVE_STORE
             elif op == "movi":
                 regs[insn.dst] = insn.imm
-                cycles += costs.NATIVE_MOV
+                cycles += NATIVE_MOV
             elif op == "mov":
                 regs[insn.dst] = regs[insn.a]
-                cycles += costs.NATIVE_MOV
+                cycles += NATIVE_MOV
 
             # ---- integer ALU ----------------------------------------------
             elif op == "addi":
                 value = regs[insn.a] + regs[insn.b]
                 self.ovf = not (INT_MIN <= value <= INT_MAX)
                 regs[insn.dst] = value
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "subi":
                 value = regs[insn.a] - regs[insn.b]
                 self.ovf = not (INT_MIN <= value <= INT_MAX)
                 regs[insn.dst] = value
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "muli":
                 value = regs[insn.a] * regs[insn.b]
                 self.ovf = not (INT_MIN <= value <= INT_MAX)
                 regs[insn.dst] = value
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "andi":
                 regs[insn.dst] = to_int32(regs[insn.a]) & to_int32(regs[insn.b])
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "ori":
                 regs[insn.dst] = to_int32(regs[insn.a]) | to_int32(regs[insn.b])
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "xori":
                 regs[insn.dst] = to_int32(regs[insn.a]) ^ to_int32(regs[insn.b])
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "noti":
                 regs[insn.dst] = to_int32(~to_int32(regs[insn.a]))
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "negi":
                 regs[insn.dst] = -regs[insn.a]
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "shli":
                 regs[insn.dst] = to_int32(to_int32(regs[insn.a]) << (regs[insn.b] & 31))
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "shri":
                 regs[insn.dst] = to_int32(regs[insn.a]) >> (regs[insn.b] & 31)
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "ushri":
                 regs[insn.dst] = to_uint32(regs[insn.a]) >> (regs[insn.b] & 31)
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
 
             # ---- floating point ---------------------------------------------
             elif op == "addd":
                 regs[insn.dst] = regs[insn.a] + regs[insn.b]
-                cycles += costs.NATIVE_FALU
+                cycles += NATIVE_FALU
             elif op == "subd":
                 regs[insn.dst] = regs[insn.a] - regs[insn.b]
-                cycles += costs.NATIVE_FALU
+                cycles += NATIVE_FALU
             elif op == "muld":
                 regs[insn.dst] = regs[insn.a] * regs[insn.b]
-                cycles += costs.NATIVE_FALU
+                cycles += NATIVE_FALU
             elif op == "divd":
                 denominator = regs[insn.b]
                 numerator = regs[insn.a]
                 if denominator == 0.0:
-                    if numerator == 0.0 or math.isnan(numerator):
+                    if numerator == 0.0 or isnan(numerator):
                         regs[insn.dst] = math.nan
                     else:
                         sign = math.copysign(1.0, numerator) * math.copysign(
@@ -443,21 +502,21 @@ class NativeMachine:
                         regs[insn.dst] = math.inf if sign > 0 else -math.inf
                 else:
                     regs[insn.dst] = numerator / denominator
-                cycles += costs.NATIVE_FALU * 2
+                cycles += NATIVE_FALU * 2
             elif op == "modd":
                 regs[insn.dst] = float(js_mod(regs[insn.a], regs[insn.b]))
-                cycles += costs.NATIVE_FALU * 3
+                cycles += NATIVE_FALU * 3
             elif op == "negd":
                 regs[insn.dst] = -float(regs[insn.a])
-                cycles += costs.NATIVE_FALU
+                cycles += NATIVE_FALU
 
             # ---- conversions ---------------------------------------------------
             elif op == "i2d":
                 regs[insn.dst] = float(regs[insn.a])
-                cycles += costs.NATIVE_I2D
+                cycles += NATIVE_I2D
             elif op == "d2i":
                 value = regs[insn.a]
-                cycles += costs.NATIVE_D2I
+                cycles += NATIVE_D2I
                 if (
                     isinstance(value, float)
                     and value.is_integer()
@@ -472,44 +531,44 @@ class NativeMachine:
                     fragment, insns, pc, cycles = self._stitch(insn.exit)
             elif op == "d2i32":
                 regs[insn.dst] = to_int32(regs[insn.a])
-                cycles += costs.NATIVE_D2I32
+                cycles += NATIVE_D2I32
             elif op == "tobooli":
                 regs[insn.dst] = regs[insn.a] != 0
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "toboold":
                 value = regs[insn.a]
-                regs[insn.dst] = value != 0.0 and not math.isnan(value)
-                cycles += costs.NATIVE_FALU
+                regs[insn.dst] = value != 0.0 and not isnan(value)
+                cycles += NATIVE_FALU
             elif op == "tobools":
                 regs[insn.dst] = len(regs[insn.a]) > 0
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "notb":
                 regs[insn.dst] = not regs[insn.a]
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
 
             # ---- comparisons ------------------------------------------------------
             elif op == "eqi":
                 regs[insn.dst] = regs[insn.a] == regs[insn.b]
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "nei":
                 regs[insn.dst] = regs[insn.a] != regs[insn.b]
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "lti":
                 regs[insn.dst] = regs[insn.a] < regs[insn.b]
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "lei":
                 regs[insn.dst] = regs[insn.a] <= regs[insn.b]
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "gti":
                 regs[insn.dst] = regs[insn.a] > regs[insn.b]
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "gei":
                 regs[insn.dst] = regs[insn.a] >= regs[insn.b]
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op in ("eqd", "ned", "ltd", "led", "gtd", "ged"):
                 left = regs[insn.a]
                 right = regs[insn.b]
-                if math.isnan(left) or math.isnan(right):
+                if isnan(left) or isnan(right):
                     regs[insn.dst] = op == "ned"
                 elif op == "eqd":
                     regs[insn.dst] = left == right
@@ -523,13 +582,13 @@ class NativeMachine:
                     regs[insn.dst] = left > right
                 else:
                     regs[insn.dst] = left >= right
-                cycles += costs.NATIVE_FALU
+                cycles += NATIVE_FALU
             elif op == "eqp":
                 regs[insn.dst] = regs[insn.a] is regs[insn.b]
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "eqs":
                 regs[insn.dst] = regs[insn.a] == regs[insn.b]
-                cycles += costs.NATIVE_ALU + costs.STRING_OP
+                cycles += NATIVE_ALU + STRING_OP
             elif op in ("lts", "les", "gts", "ges"):
                 left = regs[insn.a]
                 right = regs[insn.b]
@@ -541,55 +600,55 @@ class NativeMachine:
                     regs[insn.dst] = left > right
                 else:
                     regs[insn.dst] = left >= right
-                cycles += costs.NATIVE_ALU + costs.STRING_OP
+                cycles += NATIVE_ALU + STRING_OP
 
             # ---- object / array primitives ------------------------------------
             elif op == "ldshape":
                 regs[insn.dst] = regs[insn.a].shape_id
-                cycles += costs.NATIVE_LOAD
+                cycles += NATIVE_LOAD
             elif op == "ldproto":
                 regs[insn.dst] = regs[insn.a].proto
-                cycles += costs.NATIVE_LOAD
+                cycles += NATIVE_LOAD
             elif op == "ldslot":
                 regs[insn.dst] = regs[insn.a].slots[insn.imm]
-                cycles += costs.NATIVE_LOAD
+                cycles += NATIVE_LOAD
             elif op == "stslot":
                 regs[insn.a].slots[insn.imm] = regs[insn.b]
-                cycles += costs.NATIVE_STORE
+                cycles += NATIVE_STORE
             elif op == "arraylen":
                 regs[insn.dst] = regs[insn.a].length
-                cycles += costs.NATIVE_LOAD
+                cycles += NATIVE_LOAD
             elif op == "denselen":
                 regs[insn.dst] = len(regs[insn.a].elements)
-                cycles += costs.NATIVE_LOAD
+                cycles += NATIVE_LOAD
             elif op == "ldelem":
                 regs[insn.dst] = regs[insn.a].elements[regs[insn.b]]
-                cycles += costs.NATIVE_LOAD
+                cycles += NATIVE_LOAD
             elif op == "stelem":
                 arr = regs[insn.a]
                 index = regs[insn.b]
                 arr.elements[index] = regs[insn.c]
                 if index >= arr.length:
                     arr.length = index + 1
-                cycles += costs.NATIVE_STORE
+                cycles += NATIVE_STORE
             elif op == "strlen":
                 regs[insn.dst] = len(regs[insn.a])
-                cycles += costs.NATIVE_LOAD
+                cycles += NATIVE_LOAD
 
             # ---- boxing ---------------------------------------------------------
             elif op == "boxv":
                 regs[insn.dst] = box_for_type(regs[insn.a], insn.imm)
-                cycles += costs.BOX
+                cycles += BOX
             elif op == "unbox":
                 box = regs[insn.a]
                 if box is None or box.tag in (TAG_NULL, TAG_UNDEFINED):
                     regs[insn.dst] = None
                 else:
                     regs[insn.dst] = box.payload
-                cycles += costs.NATIVE_ALU
+                cycles += NATIVE_ALU
             elif op == "gtag":
                 box = regs[insn.a]
-                cycles += costs.NATIVE_GUARD
+                cycles += NATIVE_GUARD
                 if not _tag_matches(box, insn.imm):
                     event = self._exit_event(insn.exit)
                     event.boxed_result = box if box is not None else UNDEFINED
@@ -603,7 +662,7 @@ class NativeMachine:
                 # Fused compare-and-exit (Figure 4's cmp+jne): one
                 # instruction, one guard cost.
                 cmp_op, exit_if_true = insn.imm
-                cycles += costs.NATIVE_GUARD
+                cycles += NATIVE_GUARD
                 condition = _compare(cmp_op, regs[insn.a], regs[insn.b])
                 if condition == exit_if_true:
                     event = self._exit_event(insn.exit)
@@ -612,13 +671,13 @@ class NativeMachine:
                         return result
                     fragment, insns, pc, cycles = self._stitch(insn.exit)
             elif op == "xt" or op == "xf":
-                cycles += costs.NATIVE_GUARD
+                cycles += NATIVE_GUARD
                 condition = bool(regs[insn.a])
                 if condition == (op == "xt"):
                     event = self._exit_event(insn.exit)
                     if insn.b is not None:
                         event.boxed_result = regs[insn.b]
-                    if insn.exit.kind == exitmod.INNER:
+                    if insn.exit.kind == INNER:
                         event.inner = self.last_inner_event
                         if event.inner is not None:
                             event.exception = event.inner.exception
@@ -627,7 +686,7 @@ class NativeMachine:
                         return result
                     fragment, insns, pc, cycles = self._stitch(insn.exit)
             elif op == "govf":
-                cycles += costs.NATIVE_GUARD
+                cycles += NATIVE_GUARD
                 if self.ovf:
                     event = self._exit_event(insn.exit)
                     result = self._finish_exit(event, fragment, cycles, profile)
@@ -635,7 +694,7 @@ class NativeMachine:
                         return result
                     fragment, insns, pc, cycles = self._stitch(insn.exit)
             elif op == "gi31":
-                cycles += costs.NATIVE_GUARD
+                cycles += NATIVE_GUARD
                 value = regs[insn.a]
                 if not (INT_MIN <= value <= INT_MAX):
                     event = self._exit_event(insn.exit)
@@ -644,7 +703,7 @@ class NativeMachine:
                         return result
                     fragment, insns, pc, cycles = self._stitch(insn.exit)
             elif op == "gni31":
-                cycles += costs.NATIVE_GUARD
+                cycles += NATIVE_GUARD
                 value = regs[insn.a]
                 if INT_MIN <= value <= INT_MAX:
                     event = self._exit_event(insn.exit)
@@ -653,7 +712,7 @@ class NativeMachine:
                         return result
                     fragment, insns, pc, cycles = self._stitch(insn.exit)
             elif op == "gclass":
-                cycles += costs.NATIVE_GUARD
+                cycles += NATIVE_GUARD
                 if not isinstance(regs[insn.a], insn.imm):
                     event = self._exit_event(insn.exit)
                     result = self._finish_exit(event, fragment, cycles, profile)
@@ -661,7 +720,7 @@ class NativeMachine:
                         return result
                     fragment, insns, pc, cycles = self._stitch(insn.exit)
             elif op == "x":
-                cycles += costs.NATIVE_JUMP
+                cycles += NATIVE_JUMP
                 event = self._exit_event(insn.exit)
                 if insn.b is not None:
                     event.boxed_result = regs[insn.b]
@@ -673,10 +732,10 @@ class NativeMachine:
             # ---- VM flags -----------------------------------------------------------
             elif op == "ldreentry":
                 regs[insn.dst] = self.vm.trace_reentered
-                cycles += costs.NATIVE_LOAD
+                cycles += NATIVE_LOAD
             elif op == "ldpreempt":
                 regs[insn.dst] = self.vm.preempt_flag
-                cycles += costs.NATIVE_LOAD
+                cycles += NATIVE_LOAD
 
             # ---- calls -----------------------------------------------------------------
             elif op == "call":
@@ -691,7 +750,7 @@ class NativeMachine:
                     elif spec.kind == "typed":
                         regs_value = spec.fn(*args)
                     else:  # boxed legacy FFI
-                        cycles += costs.FFI_BOX_PER_ARG * len(args)
+                        cycles += FFI_BOX_PER_ARG * len(args)
                         arg_boxes = [
                             box_for_type(raw, trace_type)
                             for raw, trace_type in zip(args, spec.arg_types)
@@ -714,17 +773,17 @@ class NativeMachine:
                     regs[insn.dst] = regs_value
             elif op == "calltree":
                 site = insn.aux
-                cycles += costs.CALLTREE_CALL
+                cycles += CALLTREE_CALL
                 regs[insn.dst] = self._run_inner_tree(site, profile)
             elif op == "loopjmp":
-                cycles += costs.NATIVE_JUMP
+                cycles += NATIVE_JUMP
                 profile.native += fragment.bytecount
                 self.tree.iterations += 1
                 stats.tracing.loop_iterations_native += 1
                 cycles = self._loop_edge(executed, cycles)
                 pc = 0
             elif op == "jtree":
-                cycles += costs.NATIVE_JUMP
+                cycles += NATIVE_JUMP
                 profile.native += fragment.bytecount
                 stats.tracing.loop_iterations_native += 1
                 cycles = self._loop_edge(executed, cycles)
@@ -736,7 +795,7 @@ class NativeMachine:
 
             # Flush cycles to the ledger in batches to keep the loop lean.
             if cycles >= 4096:
-                ledger.charge(Activity.NATIVE, cycles)
+                charge(Activity.NATIVE, cycles)
                 cycles = 0
 
     # -- exit plumbing -----------------------------------------------------------

@@ -57,6 +57,8 @@ _DOUBLE_FOLDS = {
 class Filter:
     """Base class: forward filters form a chain ending at the buffer."""
 
+    __slots__ = ("next",)
+
     def __init__(self, next_filter):
         self.next = next_filter
 
@@ -66,6 +68,8 @@ class Filter:
 
 class Buffer(Filter):
     """Terminal stage: appends to the trace's LIR list."""
+
+    __slots__ = ("lir",)
 
     def __init__(self):
         super().__init__(None)
@@ -78,6 +82,8 @@ class Buffer(Filter):
 
 class ExprSimpFilter(Filter):
     """Constant folding and safe algebraic identities."""
+
+    __slots__ = ()
 
     def process(self, ins: LIns) -> LIns:
         op = ins.op
@@ -168,6 +174,8 @@ class SemanticFilter(Filter):
     """Source-language-specific simplification (paper: "primarily
     algebraic identities that allow DOUBLE to be replaced with INT")."""
 
+    __slots__ = ()
+
     def process(self, ins: LIns) -> LIns:
         op = ins.op
         args = ins.args
@@ -212,6 +220,8 @@ class CSEFilter(Filter):
     mutate arbitrary objects).  AR loads are invalidated per-slot by
     ``star``.  Conditions already guarded once are not re-guarded.
     """
+
+    __slots__ = ("pure_table", "load_table", "guarded_true", "guarded_false")
 
     def __init__(self, next_filter):
         super().__init__(next_filter)
@@ -270,6 +280,8 @@ class CSEFilter(Filter):
 
 class SoftFloatFilter(Filter):
     """Replace double ops with helper calls (ISAs without FPU)."""
+
+    __slots__ = ()
 
     _SOFT_OPS = frozenset(
         "addd subd muld divd modd negd eqd ned ltd led gtd ged i2d d2i32 toboold".split()
@@ -342,6 +354,8 @@ def _make_softfloat(op: str):
 
 class ForwardPipeline:
     """The assembled forward pipeline the recorder writes into."""
+
+    __slots__ = ("buffer", "head", "faults", "emitted")
 
     def __init__(self, config, faults=None):
         self.buffer = Buffer()

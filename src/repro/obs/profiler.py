@@ -75,8 +75,9 @@ ACTIVITY_OF_PHASE = {
 }
 
 #: Version of the profile JSON document (see docs/INTERNALS.md).
-#: History: 1 = initial; 2 = adds the "firewall" section.
-PROFILE_SCHEMA_VERSION = 2
+#: History: 1 = initial; 2 = adds the "firewall" section; 3 = adds the
+#: per-loop backend / wall-clock fields and the "pycompile" section.
+PROFILE_SCHEMA_VERSION = 3
 
 
 class GuardProfile:
@@ -122,6 +123,9 @@ class LoopProfile:
         "branches",
         "retired",
         "guards",
+        "backend",
+        "compile_wall",
+        "wall",
     )
 
     def __init__(self, code_name: str, header_pc: int, line: int, typemap: str):
@@ -141,6 +145,15 @@ class LoopProfile:
         self.branches = 0
         self.retired = False
         self.guards: Dict[int, GuardProfile] = {}
+        #: Which execution backend served this tree's runs: "py",
+        #: "step", or "mixed" (a compiled run deopted to stepping at
+        #: least once); None until the first run.
+        self.backend: Optional[str] = None
+        #: Wall seconds spent emitting + compiling this tree's
+        #: fragments to Python (the py backend's one-time cost).
+        self.compile_wall = 0.0
+        #: Wall seconds spent in monitor-entered runs of this tree.
+        self.wall = 0.0
 
     @property
     def total_exits(self) -> int:
@@ -158,6 +171,12 @@ class LoopProfile:
             "cycles_on_trace": self.cycles,
             "branches": self.branches,
             "retired": self.retired,
+            "backend": self.backend,
+            "compile_wall_seconds": self.compile_wall,
+            "wall_seconds": self.wall,
+            "wall_per_iteration": (
+                self.wall / self.iterations if self.iterations else 0.0
+            ),
             "guards": [
                 guard.to_dict()
                 for guard in sorted(self.guards.values(), key=lambda g: -g.exits)
@@ -206,6 +225,9 @@ class PhaseProfiler:
         self._loop_order: List[LoopProfile] = []
         #: Firewall trips by boundary (record / compile / native / ...).
         self.firewall_trips: Dict[str, int] = {}
+        #: Python-backend fragment compilations (count / wall seconds).
+        self.pycompile_count = 0
+        self.pycompile_wall = 0.0
         #: Cycle count at the safe-mode transition (None = never tripped).
         #: Everything after it accrues to interpret/monitor phases, so
         #: the Figure 12 fractions stay partition-exact across the flip.
@@ -319,13 +341,26 @@ class PhaseProfiler:
             tree.profile = profile
         return profile
 
-    def record_tree_run(self, tree, cycles: int, iterations: int) -> None:
+    def record_tree_run(
+        self,
+        tree,
+        cycles: int,
+        iterations: int,
+        wall: float = 0.0,
+        backend: Optional[str] = None,
+    ) -> None:
         """Account one completed trace-tree invocation from the monitor."""
         profile = self.loop_profile(tree)
         profile.entries += 1
         profile.cycles += cycles
         profile.iterations += iterations
         profile.branches = len(tree.branches)
+        profile.wall += wall
+        if backend is not None:
+            if profile.backend is None:
+                profile.backend = backend
+            elif profile.backend != backend:
+                profile.backend = "mixed"
 
     def record_nested_call(self, tree, iterations: int) -> None:
         """Account one ``calltree`` invocation of ``tree`` from an outer
@@ -364,6 +399,12 @@ class PhaseProfiler:
     def note_firewall_trip(self, boundary: str) -> None:
         """One contained internal JIT failure at ``boundary``."""
         self.firewall_trips[boundary] = self.firewall_trips.get(boundary, 0) + 1
+
+    def note_pycompile(self, tree, seconds: float) -> None:
+        """One fragment compiled to Python for ``tree`` (wall cost)."""
+        self.pycompile_count += 1
+        self.pycompile_wall += seconds
+        self.loop_profile(tree).compile_wall += seconds
 
     def note_safe_mode(self) -> None:
         """The safe-mode circuit breaker tripped at the current cycle."""
@@ -451,6 +492,10 @@ class PhaseProfiler:
                 for loop in sorted(self._loop_order, key=lambda l: -l.cycles)
             ],
             "lir": {"emitted": self.lir_emitted, "retained": self.lir_retained},
+            "pycompile": {
+                "fragments": self.pycompile_count,
+                "wall_seconds": self.pycompile_wall,
+            },
             "firewall": {
                 "trips": dict(self.firewall_trips),
                 "safe_mode_at": self.safe_mode_at,

@@ -49,8 +49,9 @@ def hot_loops_lines(profiler: PhaseProfiler, limit: int = 20) -> List[str]:
     lines = [
         "hot loops (per-fragment profiles)",
         f"{'loop':<28} {'line':>5} {'entries':>8} {'iters':>10} "
-        f"{'cycles-on-trace':>16} {'branches':>8} {'exits':>6}",
-        "-" * 88,
+        f"{'cycles-on-trace':>16} {'branches':>8} {'exits':>6} "
+        f"{'backend':>7} {'c-wall-ms':>9} {'us/iter':>8}",
+        "-" * 115,
     ]
     if not loops:
         lines.append("(no traces were compiled)")
@@ -59,9 +60,14 @@ def hot_loops_lines(profiler: PhaseProfiler, limit: int = 20) -> List[str]:
         name = f"{loop.code_name}@{loop.header_pc}"
         if len(name) > 28:
             name = name[:25] + "..."
+        wall_per_iter_us = (
+            loop.wall / loop.iterations * 1e6 if loop.iterations else 0.0
+        )
         lines.append(
             f"{name:<28} {loop.line:>5} {loop.entries:>8,} {loop.iterations:>10,} "
-            f"{loop.cycles:>16,} {loop.branches:>8} {loop.total_exits:>6,}"
+            f"{loop.cycles:>16,} {loop.branches:>8} {loop.total_exits:>6,} "
+            f"{loop.backend or '-':>7} {loop.compile_wall * 1000:>9.3f} "
+            f"{wall_per_iter_us:>8.2f}"
         )
     if len(loops) > limit:
         lines.append(f"(+{len(loops) - limit} more loops)")

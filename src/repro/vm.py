@@ -83,6 +83,11 @@ class VMConfig:
     enable_jit_firewall: bool = True
     max_internal_failures: int = 3
     native_insn_budget: int = 200_000_000
+    #: Trace execution backend: ``"py"`` compiles each fragment's
+    #: NativeInsn sequence to a real Python function (fast wall clock);
+    #: ``"step"`` interprets the sequence.  Simulated cycles, events,
+    #: and stats are byte-identical either way.
+    native_backend: str = "py"
     fault_plan: Optional["FaultPlan"] = None
     chaos_seed: Optional[int] = None
     dispatch_cost: int = costs.DISPATCH
