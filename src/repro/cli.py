@@ -72,6 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--opt-level",
+        type=int,
+        choices=(0, 1, 2),
+        default=2,
+        help=(
+            "whole-trace optimizer level: 0 = streaming filters and "
+            "backward passes only, 1 = adds tree-wide CSE and guard "
+            "entailment, 2 = adds loop-invariant hoisting (default: 2)"
+        ),
+    )
+    parser.add_argument(
         "--compare",
         action="store_true",
         help="run on all four engines and report speedups over the baseline",
@@ -209,10 +220,12 @@ def build_config(args):
     from repro.vm import VMConfig
 
     if not (args.inject_fault or args.chaos_seed is not None
-            or args.no_jit_firewall or args.native_backend != "py"):
+            or args.no_jit_firewall or args.native_backend != "py"
+            or args.opt_level != 2):
         return None
     config = VMConfig()
     config.native_backend = args.native_backend
+    config.opt_level = args.opt_level
     if args.no_jit_firewall:
         config.enable_jit_firewall = False
     if args.inject_fault:
@@ -266,8 +279,28 @@ def run_compare(source: str, out) -> int:
     return 0
 
 
-def dump_traces(vm: TracingVM, out) -> None:
+def _dump_fragment_lir(fragment, out) -> None:
+    """Pre-/post-optimization LIR views for one compiled fragment."""
     from repro.core.lir import format_trace
+
+    pre = fragment.pre_lir
+    if pre is not None and len(pre) != len(fragment.lir):
+        print(f"LIR (as recorded, {len(pre)} insns):", file=out)
+        print(format_trace(pre), file=out)
+        print(f"LIR (optimized, {len(fragment.lir)} insns):", file=out)
+    else:
+        print("LIR:", file=out)
+    loop_start = getattr(fragment, "lir_loop_start", 0)
+    if loop_start:
+        print("  ; -- prologue (once per trace entry) --", file=out)
+        print(format_trace(fragment.lir[:loop_start]), file=out)
+        print("  ; -- loop body (every iteration) --", file=out)
+        print(format_trace(fragment.lir[loop_start:]), file=out)
+    else:
+        print(format_trace(fragment.lir), file=out)
+
+
+def dump_traces(vm: TracingVM, out) -> None:
     from repro.core.typemap import describe_typemap
     from repro.jit.codegen import format_native
 
@@ -283,8 +316,7 @@ def dump_traces(vm: TracingVM, out) -> None:
             f"iterations={tree.iterations} ===",
             file=out,
         )
-        print("LIR:", file=out)
-        print(format_trace(tree.fragment.lir), file=out)
+        _dump_fragment_lir(tree.fragment, out)
         print("native:", file=out)
         print(format_native(tree.fragment.native), file=out)
         for index, branch in enumerate(tree.branches):
@@ -293,7 +325,7 @@ def dump_traces(vm: TracingVM, out) -> None:
                 f"{branch.anchor_exit.kind}) ---",
                 file=out,
             )
-            print(format_trace(branch.lir), file=out)
+            _dump_fragment_lir(branch, out)
 
 
 def run_batch(argv: list, out) -> int:

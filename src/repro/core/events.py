@@ -31,8 +31,10 @@ from typing import Callable, Dict, Iterator, List, Optional
 #: (PR 1); 2 = adds this field; 3 = adds the firewall kinds
 #: (jit-internal-failure, safe-mode-entered, fault-injected); 4 = adds
 #: the supervisor kinds (script-deadline, quota-exceeded,
-#: script-cancelled, job-retried).
-EVENT_SCHEMA_VERSION = 4
+#: script-cancelled, job-retried); 5 = compile records carry the
+#: whole-trace optimizer's removal counters (cse, guards_elim,
+#: hoisted).
+EVENT_SCHEMA_VERSION = 5
 
 # -- event kinds -----------------------------------------------------------------
 
@@ -40,7 +42,7 @@ EVENT_SCHEMA_VERSION = 4
 RECORD_START = "record-start"
 #: A recording was abandoned; payload carries the abort reason.
 RECORD_ABORT = "record-abort"
-#: A fragment finished compiling (backward filters + codegen).
+#: A fragment finished compiling (whole-trace optimizer + codegen).
 COMPILE = "compile"
 #: A compiled fragment was linked into the cache (root registered as a
 #: peer tree / branch patched onto its guard).

@@ -34,6 +34,7 @@ REENTRY = "reentry"  # a native reentered the interpreter (deep bail)
 STATE = "state"  # a native accessed interpreter state
 PREEMPT = "preempt"  # the preemption flag was set at a loop edge
 ERROR = "error"  # a helper threw a JS exception (deep bail + rethrow)
+ENTRY = "entry"  # a hoisted invariant guard failed in the trunk prologue
 
 _exit_ids = itertools.count(1)
 

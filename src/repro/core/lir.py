@@ -32,6 +32,7 @@ FFI calls; guards (``xt``/``xf``/``x``); and trace control (``loop``,
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Optional, Tuple
 
 from repro.core.typemap import TraceType
@@ -186,7 +187,20 @@ class LIns:
 
 
 def _const_key(imm):
-    """Hashable identity-aware key for an immediate."""
+    """Hashable identity-aware key for an immediate.
+
+    Floats need care in dict keys: ``0.0`` and ``-0.0`` hash and compare
+    equal but are distinct JS values (``1/-0`` is ``-Infinity``), so the
+    zero's sign is folded into the key; ``NaN`` never compares equal to
+    itself, so every NaN is normalized to one shared key (JS has a
+    single NaN value, so merging NaN constants is sound).
+    """
+    if isinstance(imm, float):
+        if imm != imm:
+            return ("float", "nan")
+        if imm == 0.0 and math.copysign(1.0, imm) < 0.0:
+            return ("float", "-0.0")
+        return imm
     try:
         hash(imm)
     except TypeError:

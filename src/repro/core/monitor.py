@@ -320,6 +320,8 @@ class TraceMonitor:
                 return
             fragment.bytecount = recorder.bytecodes_recorded
             tree.compile_fragment(fragment, lir, self.config)
+            if self.vm.profiler is not None:
+                self.vm.profiler.record_opt(fragment.opt_stats)
             self.events.emit(
                 eventkind.COMPILE,
                 fragment="branch",
@@ -330,6 +332,9 @@ class TraceMonitor:
                 lir=len(fragment.lir),
                 native=len(fragment.native),
                 code_size=fragment.code_size,
+                cse=fragment.opt_stats.cse_removed,
+                guards_elim=fragment.opt_stats.guards_eliminated,
+                hoisted=fragment.opt_stats.hoisted,
             )
             linked = self.cache.register_branch(tree, fragment)
             if linked and self.config.enable_stitching:
@@ -337,6 +342,8 @@ class TraceMonitor:
         else:
             fragment.bytecount = recorder.bytecodes_recorded
             tree.compile_fragment(fragment, lir, self.config)
+            if self.vm.profiler is not None:
+                self.vm.profiler.record_opt(fragment.opt_stats)
             self.events.emit(
                 eventkind.COMPILE,
                 fragment="root",
@@ -346,6 +353,9 @@ class TraceMonitor:
                 lir=len(fragment.lir),
                 native=len(fragment.native),
                 code_size=fragment.code_size,
+                cse=fragment.opt_stats.cse_removed,
+                guards_elim=fragment.opt_stats.guards_eliminated,
+                hoisted=fragment.opt_stats.hoisted,
             )
             self.cache.register_tree(tree)
         # Nesting forgiveness (Section 4.2): outer loops that aborted on
@@ -700,6 +710,19 @@ class TraceMonitor:
             return
         if kind in _BRANCHABLE_EXIT_KINDS:
             self._maybe_branch(interp, base_index, exit)
+            return
+        if kind == exitkind.ENTRY:
+            # A hoisted invariant guard failed in the trunk prologue:
+            # the "invariant" no longer holds (e.g. a global was
+            # rebound), so the whole header's trees are stale.  Never
+            # branch-record here — re-entering the tree would fail the
+            # same prologue guard forever; invalidation guarantees
+            # progress through re-recording.
+            tree = exit.tree
+            if tree is not None:
+                self.cache.invalidate_header(
+                    tree.code, tree.header_pc, "entry-guard"
+                )
             return
         if kind in (exitkind.REENTRY, exitkind.STATE, exitkind.ERROR):
             stats.tracing.deep_bails += 1

@@ -139,6 +139,13 @@ class Recorder:
         else:
             abs_frame.this_ins = self.emit("const", imm=None, type="u")
         self.frames_abs.append(abs_frame)
+        # Snapshot the loop-header state once: the optimizer retargets
+        # guards it hoists into the trunk prologue at this exit (the
+        # stack is empty and no globals have been touched yet, so the
+        # snapshot is valid on every entry to the tree).
+        self.tree.entry_exit = self.make_exit(
+            exitkind.ENTRY, pc=self.tree.header_pc, count=False
+        )
 
     def init_branch(self) -> None:
         """Start recording at a side exit, reusing the tree's AR layout."""
@@ -259,6 +266,7 @@ class Recorder:
         pops: int = 0,
         extra_types=(),
         result_loc=None,
+        count: bool = True,
     ) -> SideExit:
         """Snapshot the abstract state as a side exit.
 
@@ -266,7 +274,9 @@ class Recorder:
         the snapshot (e.g. a branch guard's exit resumes after the
         condition was consumed).  ``extra_types`` appends synthetic
         stack entries (for exits *after* an instruction whose result the
-        trace has not pushed yet).
+        trace has not pushed yet).  ``count=False`` skips the
+        guards-emitted statistic (for bookkeeping snapshots that do not
+        correspond to a recorded guard, like the tree's entry exit).
         """
         livemap = []
         for abs_frame in self.frames_abs:
@@ -312,7 +322,8 @@ class Recorder:
             result_loc=result_loc,
             anchor_resume_pc=(pc if is_anchor_top else anchor.resume_pc),
         )
-        self.vm.stats.tracing.guards_emitted += 1
+        if count:
+            self.vm.stats.tracing.guards_emitted += 1
         return exit
 
     def _live_entry(self, loc: tuple, value: LIns):

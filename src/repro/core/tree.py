@@ -21,8 +21,8 @@ from repro import costs
 from repro.core.cache import FragmentState
 from repro.core.typemap import TraceType
 from repro.errors import VMInternalError
-from repro.jit.backward import run_backward_filters
 from repro.jit.codegen import code_size, generate
+from repro.jit.optimizer import optimize_fragment
 
 
 class Fragment:
@@ -46,6 +46,10 @@ class Fragment:
         "n_spills",
         "spill_base",
         "backward_stats",
+        "opt_stats",
+        "pre_lir",
+        "loop_start",
+        "lir_loop_start",
         "py_func",
         "py_consts",
         "py_failed",
@@ -63,6 +67,14 @@ class Fragment:
         self.n_spills = 0
         self.spill_base = 0
         self.backward_stats = None
+        self.opt_stats = None
+        #: Recorded LIR before the optimizer ran (for ``--trace-dump``).
+        self.pre_lir = None
+        #: Native index the loop back edge re-enters at; instructions
+        #: before it are the hoisted once-per-entry prologue.  The LIR
+        #: twin marks the same split in ``lir`` (for ``--trace-dump``).
+        self.loop_start = 0
+        self.lir_loop_start = 0
         #: Python-backend callable compiled from ``native`` (and the
         #: constants tuple keeping its pooled objects alive); dropped on
         #: retirement so evicted code can never run again.
@@ -114,6 +126,13 @@ class TraceTree:
         #: Globals any trace of this tree writes (used by outer traces
         #: calling this tree to invalidate their cached global values).
         self.written_globals: set = set()
+        #: ENTRY side exit (loop-header state), set by the recorder at
+        #: the start of root recording; hoisted trunk guards retarget
+        #: to it.
+        self.entry_exit = None
+        #: Tree-wide value-numbering state (:class:`repro.jit.optimizer
+        #: .TreeValueState`), lazily created at the first CSE pass.
+        self.opt_vn = None
 
     # -- AR layout ---------------------------------------------------------------
 
@@ -188,17 +207,31 @@ class TraceTree:
     # -- compilation -----------------------------------------------------------------
 
     def compile_fragment(self, fragment: Fragment, lir: List, vm_config) -> None:
-        """Run backward filters + codegen; attach the result."""
-        filtered, backward_stats = run_backward_filters(
-            lir,
-            self.slot_kinds(),
-            enable_dse=vm_config.enable_dse,
-            enable_dce=vm_config.enable_dce,
+        """Run the whole-trace optimizer + codegen; attach the result."""
+        fragment.pre_lir = list(lir)
+        filtered, loop_start, opt_stats, backward_stats = optimize_fragment(
+            lir, self, fragment, vm_config
         )
         fragment.lir = filtered
         fragment.backward_stats = backward_stats
+        fragment.opt_stats = opt_stats
         fragment.spill_base = self.n_location_slots
-        fragment.native, fragment.n_spills = generate(filtered, fragment.spill_base)
+        try:
+            fragment.native, fragment.n_spills, fragment.loop_start = generate(
+                filtered, fragment.spill_base, loop_start
+            )
+            fragment.lir_loop_start = loop_start
+        except VMInternalError:
+            if loop_start == 0:
+                raise
+            # Hoisting is best-effort: fall back to the legacy layout
+            # where the whole trace (prologue included) reruns every
+            # iteration — sound, just slower.
+            fragment.native, fragment.n_spills, fragment.loop_start = generate(
+                filtered, fragment.spill_base, 0
+            )
+            fragment.lir_loop_start = 0
+            opt_stats.hoisted = 0
         fragment.code_size = code_size(fragment.native)
         fragment.state = FragmentState.COMPILED
         self.ar_size = max(self.ar_size, fragment.spill_base + fragment.n_spills)

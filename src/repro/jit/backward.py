@@ -1,150 +1,14 @@
-"""Backward LIR filters (paper Section 5.1).
+"""Backward LIR filters (paper Section 5.1) — compatibility shim.
 
-"When trace recording is completed, nanojit runs the backward
-optimization filters" — one walk from the last instruction to the
-first, applying:
-
-* **dead data-stack store elimination** — stores to interpreter-stack
-  mirror slots that are overwritten before any exit can observe them,
-  or that are off the top of the stack at every future exit, are dead
-  (the recorder emits a store for *every* interpreter stack write,
-  Figure 3; most die here);
-* **dead call-stack store elimination** — the same, for the slots
-  mirroring inlined frames' locals and ``this``;
-* **dead code elimination** — pure instructions whose value is never
-  used.
-
-Guards are observation points: a store is live if any later guard's
-exit live map includes its slot.  Stores to global slots are observable
-at every exit (exit restoration flushes dirty globals), so they are
-only dead if overwritten before the next guard.
+The backward dead-store / dead-code elimination pass now lives in
+:mod:`repro.jit.optimizer`, where it runs as pass 2 of the whole-trace
+pass manager (after tree-wide CSE, before loop-invariant hoisting).
+This module re-exports the public names so existing imports keep
+working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from repro.jit.optimizer import BackwardStats, run_backward_filters, _observed_slots
 
-from repro.core.lir import LIns
-
-
-@dataclass
-class BackwardStats:
-    """What the backward pass removed (reported by the filter ablation)."""
-
-    dead_stack_stores: int = 0
-    dead_call_stores: int = 0
-    dead_code: int = 0
-
-    @property
-    def total(self) -> int:
-        return self.dead_stack_stores + self.dead_call_stores + self.dead_code
-
-
-def run_backward_filters(
-    lir: List[LIns],
-    slot_kinds,
-    enable_dse: bool = True,
-    enable_dce: bool = True,
-):
-    """Run the backward pipeline over ``lir``.
-
-    ``slot_kinds`` maps AR slot -> location kind ('stack', 'local',
-    'this', 'global'), used only to attribute removed stores to the
-    data-stack vs call-stack filter in the stats.
-
-    Returns ``(filtered_lir, BackwardStats)``.
-    """
-    stats = BackwardStats()
-    live_values = set()
-    # Initially every slot is dead: anything not observed by some exit
-    # (or by the loop edge, whose observation set is its exit livemap /
-    # the entry imports, encoded by the recorder as the final control
-    # instruction's live set) is scratch.
-    dead_slots = set(slot for slot in slot_kinds)
-    kept_reversed = []
-
-    for ins in reversed(lir):
-        op = ins.op
-
-        if op == "star" and enable_dse:
-            slot = ins.slot
-            if slot >= 0 and slot in dead_slots:
-                kind = slot_kinds.get(slot, "stack")
-                if kind == "stack":
-                    stats.dead_stack_stores += 1
-                else:
-                    stats.dead_call_stores += 1
-                continue  # drop the dead store
-            if slot >= 0:
-                dead_slots.add(slot)
-            # A global store is observable at the next (earlier) exit,
-            # but a second store before any exit shadows it:
-            if slot < 0:
-                if ("g", slot) in dead_slots:
-                    stats.dead_stack_stores += 1
-                    continue
-                dead_slots.add(("g", slot))
-            live_values.add(ins.args[0].ins_id)
-            kept_reversed.append(ins)
-            continue
-
-        if ins.is_guard or ins.is_control or op in ("x", "loop", "jtree"):
-            observed = _observed_slots(ins)
-            if observed is not None:
-                dead_slots -= observed
-            # Every guard can flush dirty globals on exit:
-            dead_slots = {s for s in dead_slots if not isinstance(s, tuple)}
-            for arg in ins.args:
-                live_values.add(arg.ins_id)
-            if ins.aux is not None and isinstance(ins.aux, LIns):
-                live_values.add(ins.aux.ins_id)
-            kept_reversed.append(ins)
-            continue
-
-        if op == "calltree":
-            # A nested tree call reads the mapped outer AR slots (and the
-            # shared global area), so stores feeding it are live.
-            site = ins.imm
-            dead_slots -= {outer for _inner, outer in site.local_mapping}
-            dead_slots = {s for s in dead_slots if not isinstance(s, tuple)}
-            kept_reversed.append(ins)
-            continue
-
-        if ins.has_effect:
-            for arg in ins.args:
-                live_values.add(arg.ins_id)
-            if isinstance(ins.aux, LIns):
-                live_values.add(ins.aux.ins_id)
-            kept_reversed.append(ins)
-            continue
-
-        # Pure / load instruction: dead unless its value is used.
-        if enable_dce and ins.ins_id not in live_values:
-            stats.dead_code += 1
-            continue
-        for arg in ins.args:
-            live_values.add(arg.ins_id)
-        kept_reversed.append(ins)
-
-    kept_reversed.reverse()
-    return kept_reversed, stats
-
-
-def _observed_slots(ins: LIns):
-    """AR slots observable if this instruction exits / loops back."""
-    exit = ins.exit
-    if exit is not None:
-        return set(exit.live_slots)
-    if ins.op == "loop":
-        # The loop edge re-enters the prologue, which reloads the entry
-        # import slots; the recorder stores that set in ``ins.aux``.
-        if isinstance(ins.aux, (set, frozenset)):
-            return set(ins.aux)
-        return None
-    if ins.op == "jtree":
-        # aux = (tree, observed slot set)
-        if isinstance(ins.aux, tuple) and len(ins.aux) == 2:
-            return set(ins.aux[1])
-        return None
-    return None
+__all__ = ["BackwardStats", "run_backward_filters"]

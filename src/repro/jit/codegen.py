@@ -61,6 +61,11 @@ class RegisterAllocator:
         self.out: List[NativeInsn] = []
         self.position = 0
         self.pinned: set = set()
+        #: Registers permanently reserved for loop-invariant values that
+        #: live across the back edge (never evicted: an eviction store
+        #: emitted inside the loop body would rerun every iteration and
+        #: clobber the spill slot once the register is reused).
+        self.sticky: set = set()
 
     # -- helpers -----------------------------------------------------------
 
@@ -84,7 +89,9 @@ class RegisterAllocator:
         candidates = [
             reg
             for reg, _value in self.value_in.items()
-            if _file_of_reg(reg) == file_id and reg not in self.pinned
+            if _file_of_reg(reg) == file_id
+            and reg not in self.pinned
+            and reg not in self.sticky
         ]
         if not candidates:
             raise VMInternalError("register pressure with every register pinned")
@@ -135,6 +142,44 @@ class RegisterAllocator:
     def unpin_all(self) -> None:
         self.pinned.clear()
 
+    #: Registers per file kept sticky across the loop back edge; the
+    #: rest stay available so body register pressure cannot exceed the
+    #: file (sticky + per-instruction pins < file size).
+    _STICKY_PER_FILE = 4
+
+    def cross_loop_boundary(self, last_use, use_counts, loop_start: int) -> None:
+        """Close the entry prologue at ``loop_start``.
+
+        Every register-resident prologue value either becomes *sticky*
+        (its register is reserved for the whole loop) or is spilled
+        here, once per entry.  Without this, the allocator could emit
+        an eviction store for a prologue value inside the body: on the
+        second iteration the register no longer holds that value, and
+        the rerun store would clobber the spill slot.
+        """
+        bound = sorted(
+            self.value_in.items(),
+            key=lambda item: (-use_counts.get(item[1], 0), item[1]),
+        )
+        sticky_count = {_INT_FILE: 0, _FLOAT_FILE: 0}
+        for reg, value_id in bound:
+            last = last_use.get(value_id)
+            if last is None or last < loop_start:
+                self._free_value(value_id)
+                continue
+            file_id = _file_of_reg(reg)
+            if sticky_count[file_id] < self._STICKY_PER_FILE:
+                self.sticky.add(reg)
+                sticky_count[file_id] += 1
+                # The register must survive every iteration: releasing
+                # it at the value's textual last use would let the body
+                # reuse it, clobbering later iterations' reads.
+                last_use[value_id] = 1 << 30
+            else:
+                slot = self._alloc_spill(value_id)
+                self.out.append(NativeInsn("star", a=reg, imm=slot))
+                self._free_value(value_id)
+
 
 def _file_of_reg(reg: int) -> int:
     return _INT_FILE if reg < N_INT_REGS else _FLOAT_FILE
@@ -170,29 +215,40 @@ _FUSABLE_COMPARES = frozenset(
 )
 
 
-def generate(lir: List[LIns], spill_base: int):
+def generate(lir: List[LIns], spill_base: int, loop_start: int = 0):
     """Compile LIR to native code.
 
-    Returns ``(native_insns, n_spill_slots)``.
+    ``loop_start`` is the LIR index the loop back edge re-enters at:
+    instructions before it form a hoisted once-per-entry prologue
+    (0 means the whole trace reruns every iteration, the legacy
+    layout).  Returns ``(native_insns, n_spill_slots,
+    native_loop_start)`` with the boundary's *native* index.
     """
     last_use = compute_last_uses(lir)
     use_counts = compute_use_counts(lir)
     alloc = RegisterAllocator(spill_base)
     out = alloc.out
+    native_loop_start = 0
 
     for index, ins in enumerate(lir):
+        if loop_start and index == loop_start:
+            alloc.cross_loop_boundary(last_use, use_counts, loop_start)
+            native_loop_start = len(out)
         alloc.position = index
         alloc.unpin_all()
         op = ins.op
 
         # Fuse a single-use comparison into the following guard: one
         # compare-and-branch instruction instead of a setcc + test.
+        # Never fuse across the loop boundary: the compare would sit in
+        # the prologue while the guard reruns every iteration.
         if (
             op in ("xt", "xf")
             and ins.aux is None
             and ins.args[0].op in _FUSABLE_COMPARES
             and use_counts.get(ins.args[0].ins_id) == 1
             and index > 0
+            and index != loop_start
             and lir[index - 1] is ins.args[0]
         ):
             cmp_ins = ins.args[0]
@@ -217,6 +273,7 @@ def generate(lir: List[LIns], spill_base: int):
             op in _FUSABLE_COMPARES
             and use_counts.get(ins.ins_id) == 1
             and index + 1 < len(lir)
+            and index + 1 != loop_start
             and lir[index + 1].op in ("xt", "xf")
             and lir[index + 1].aux is None
             and lir[index + 1].args[0] is ins
@@ -330,7 +387,7 @@ def generate(lir: List[LIns], spill_base: int):
         else:
             raise VMInternalError(f"codegen: unhandled LIR op {op!r}")
 
-    return out, alloc.n_spills
+    return out, alloc.n_spills, native_loop_start
 
 
 def format_native(insns: List[NativeInsn]) -> str:

@@ -781,7 +781,10 @@ class NativeMachine:
                 self.tree.iterations += 1
                 stats.tracing.loop_iterations_native += 1
                 cycles = self._loop_edge(executed, cycles)
-                pc = 0
+                # Re-enter past the hoisted entry prologue: invariant
+                # loads and guards before ``loop_start`` ran once at
+                # tree entry and need not rerun per iteration.
+                pc = fragment.loop_start
             elif op == "jtree":
                 cycles += NATIVE_JUMP
                 profile.native += fragment.bytecount

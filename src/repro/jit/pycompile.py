@@ -144,7 +144,21 @@ class _Emitter:
         self.indent = 1
         self.used_regs = set()
         self.uses_ovf = False
+        #: Native index of the loop boundary: instructions before it are
+        #: the hoisted entry prologue, emitted once outside ``while 1:``.
+        self.loop_start = getattr(fragment, "loop_start", 0) or 0
         self._scan()
+
+    def _executed_offset(self, index: int) -> int:
+        """Instructions executed past the last ``executed`` update.
+
+        Inside the loop body the local ``executed`` counter was advanced
+        by ``loop_start`` after the prologue ran (and by the body length
+        at each back edge), so body positions count from the boundary.
+        """
+        if self.loop_start and index >= self.loop_start:
+            return index + 1 - self.loop_start
+        return index + 1
 
     def _scan(self) -> None:
         """Collect register/ovf usage over the whole fragment up front.
@@ -219,7 +233,9 @@ class _Emitter:
         self.emit(f"result = finish_exit(event, {frag}, cycles, profile)")
         self.emit("if result is not None:")
         self.emit(f"    return ({RESULT}, result, 0, 0)")
-        self.emit(f"return ({STITCH}, {ex}, 0, executed + {index + 1})")
+        self.emit(
+            f"return ({STITCH}, {ex}, 0, executed + {self._executed_offset(index)})"
+        )
 
     def guard(self, insn, index: int, fail: str, cost: int,
               boxed: Optional[str] = None) -> None:
@@ -670,7 +686,7 @@ class _Emitter:
         if is_loopjmp:
             self.emit("tree.iterations += 1")
         self.emit("tracing.loop_iterations_native += 1")
-        self.emit(f"executed += {index + 1}")
+        self.emit(f"executed += {self._executed_offset(index)}")
         self.emit("cycles = loop_edge(executed, cycles)")
         self.flush_check()
 
@@ -690,10 +706,24 @@ class _Emitter:
         if not insns:
             raise PyEmitError("pycompile: empty fragment")
         loops = insns[-1].op == "loopjmp"
-        if loops:
+        loop_start = self.loop_start if loops else 0
+        self.loop_start = loop_start
+        if loops and loop_start:
+            # Hoisted entry prologue: runs once per tree entry, then the
+            # executed counter advances past it and the loop body takes
+            # over (the back edge re-enters at the ``while 1:``).
+            for index in range(loop_start):
+                self.emit_insn(insns[index], index)
+            self.emit(f"executed += {loop_start}")
+            self.emit("while 1:")
             self.indent = 2
-        for index, insn in enumerate(insns):
-            self.emit_insn(insn, index)
+            for index in range(loop_start, len(insns)):
+                self.emit_insn(insns[index], index)
+        else:
+            if loops:
+                self.indent = 2
+            for index, insn in enumerate(insns):
+                self.emit_insn(insn, index)
         # The step machine would fault on a fragment without a terminal;
         # mirror its IndexError rather than silently returning None.
         terminal = insns[-1].op
@@ -728,7 +758,7 @@ class _Emitter:
             hoist("ovf = machine.ovf")
         for index in sorted(self.used_regs):
             hoist(f"r{index} = regs[{index}]")
-        if loops:
+        if loops and not self.loop_start:
             hoist("while 1:")
         return "\n".join(header + body) + "\n"
 

@@ -76,8 +76,9 @@ ACTIVITY_OF_PHASE = {
 
 #: Version of the profile JSON document (see docs/INTERNALS.md).
 #: History: 1 = initial; 2 = adds the "firewall" section; 3 = adds the
-#: per-loop backend / wall-clock fields and the "pycompile" section.
-PROFILE_SCHEMA_VERSION = 3
+#: per-loop backend / wall-clock fields and the "pycompile" section;
+#: 4 = adds the "optimizer" section (whole-trace pass counters).
+PROFILE_SCHEMA_VERSION = 4
 
 
 class GuardProfile:
@@ -221,6 +222,10 @@ class PhaseProfiler:
         #: Forward-pipeline observation (LIR emitted vs surviving filters).
         self.lir_emitted = 0
         self.lir_retained = 0
+        #: Whole-trace optimizer totals (per-pass removal counters).
+        self.opt_cse_removed = 0
+        self.opt_guards_eliminated = 0
+        self.opt_hoisted = 0
         self._loops: Dict[int, LoopProfile] = {}
         self._loop_order: List[LoopProfile] = []
         #: Firewall trips by boundary (record / compile / native / ...).
@@ -396,6 +401,14 @@ class PhaseProfiler:
         self.lir_emitted += emitted
         self.lir_retained += retained
 
+    def record_opt(self, opt_stats) -> None:
+        """Whole-trace pass-manager totals for one compiled fragment."""
+        if opt_stats is None:
+            return
+        self.opt_cse_removed += opt_stats.cse_removed
+        self.opt_guards_eliminated += opt_stats.guards_eliminated
+        self.opt_hoisted += opt_stats.hoisted
+
     def note_firewall_trip(self, boundary: str) -> None:
         """One contained internal JIT failure at ``boundary``."""
         self.firewall_trips[boundary] = self.firewall_trips.get(boundary, 0) + 1
@@ -492,6 +505,11 @@ class PhaseProfiler:
                 for loop in sorted(self._loop_order, key=lambda l: -l.cycles)
             ],
             "lir": {"emitted": self.lir_emitted, "retained": self.lir_retained},
+            "optimizer": {
+                "cse_removed": self.opt_cse_removed,
+                "guards_eliminated": self.opt_guards_eliminated,
+                "ops_hoisted": self.opt_hoisted,
+            },
             "pycompile": {
                 "fragments": self.pycompile_count,
                 "wall_seconds": self.pycompile_wall,

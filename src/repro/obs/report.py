@@ -121,6 +121,16 @@ def profile_report(vm, limit_loops: int = 20, limit_deopts: int = 10) -> str:
             f"forward pipeline: {profiler.lir_emitted:,} LIR emitted, "
             f"{profiler.lir_retained:,} retained ({kept:.1%})"
         )
+    if (
+        profiler.opt_cse_removed
+        or profiler.opt_guards_eliminated
+        or profiler.opt_hoisted
+    ):
+        sections.append(
+            f"trace optimizer: {profiler.opt_cse_removed:,} instructions CSE'd, "
+            f"{profiler.opt_guards_eliminated:,} guards eliminated, "
+            f"{profiler.opt_hoisted:,} ops hoisted"
+        )
     return "\n\n".join(sections)
 
 

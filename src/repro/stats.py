@@ -88,6 +88,11 @@ class TraceStats:
     oracle_marks: int = 0
     guards_emitted: int = 0
     deep_bails: int = 0
+    #: Whole-trace optimizer removal counters (folded from COMPILE
+    #: event payloads, so both backends agree byte-for-byte).
+    opt_cse_removed: int = 0
+    opt_guards_eliminated: int = 0
+    opt_hoisted: int = 0
     fragments_linked: int = 0
     fragments_retired: int = 0
     cache_flushes: int = 0
@@ -130,6 +135,10 @@ class TraceStats:
             self.count_abort(event.payload["reason"])
         elif kind == eventkind.COMPILE:
             self.traces_completed += 1
+            payload = event.payload
+            self.opt_cse_removed += payload.get("cse", 0)
+            self.opt_guards_eliminated += payload.get("guards_elim", 0)
+            self.opt_hoisted += payload.get("hoisted", 0)
             if event.payload["fragment"] == "root":
                 self.trees_formed += 1
                 if event.payload.get("status") == "unstable":
@@ -223,6 +232,17 @@ class VMStats:
             f"({self.tracing.stitched_transfers} stitched)",
             f"blacklisted fragments  : {self.tracing.blacklisted}",
         ]
+        if (
+            self.tracing.opt_cse_removed
+            or self.tracing.opt_guards_eliminated
+            or self.tracing.opt_hoisted
+        ):
+            lines.append(
+                f"trace optimizer        : "
+                f"{self.tracing.opt_cse_removed} instructions CSE'd, "
+                f"{self.tracing.opt_guards_eliminated} guards eliminated, "
+                f"{self.tracing.opt_hoisted} ops hoisted"
+            )
         if self.tracing.cache_flushes:
             lines.append(
                 f"code cache             : {self.tracing.cache_flushes} flushes, "

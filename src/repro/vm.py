@@ -80,6 +80,14 @@ class VMConfig:
     enable_dse: bool = True
     enable_dce: bool = True
     enable_softfloat: bool = False
+    #: Whole-trace pass manager level (``jit/optimizer.py``): 0 =
+    #: streaming filters + backward pass only, 1 = adds tree-wide
+    #: CSE / guard entailment, 2 = adds loop-invariant hoisting.
+    opt_level: int = 2
+    #: Per-pass toggles for the ablation benchmark (each only takes
+    #: effect at an ``opt_level`` that enables the pass at all).
+    enable_tree_cse: bool = True
+    enable_hoisting: bool = True
     enable_jit_firewall: bool = True
     max_internal_failures: int = 3
     native_insn_budget: int = 200_000_000

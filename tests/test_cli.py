@@ -80,8 +80,27 @@ class TestDiagnostics:
         )
         assert status == 0
         assert "=== tree" in output
-        assert "LIR:" in output
+        assert "LIR (as recorded," in output
+        assert "LIR (optimized," in output
         assert "native:" in output
+
+    def test_trace_dump_shows_hoisted_prologue(self):
+        # The array load and its shape guard are loop-invariant, so the
+        # optimized view splits into a once-per-entry prologue + body.
+        status, output = run_cli(
+            [
+                "--trace-dump",
+                "-e",
+                "var a = [7]; var s = 0; "
+                "for (var i = 0; i < 50; i++) s += a[0]; s;",
+            ]
+        )
+        assert status == 0
+        assert "-- prologue (once per trace entry) --" in output
+        assert "-- loop body (every iteration) --" in output
+        prologue = output.split("-- prologue (once per trace entry) --")[1]
+        prologue = prologue.split("-- loop body (every iteration) --")[0]
+        assert "gclass" in prologue  # invariant shape guard left the loop
 
     def test_trace_dump_no_traces(self):
         status, output = run_cli(["--trace-dump", "-e", "1 + 1;"])

@@ -42,7 +42,7 @@ def run_native(lir, slots, n_location_slots=8):
     from repro.vm import BaselineVM
 
     vm = BaselineVM()  # provides stats/ledger
-    native, n_spills = generate(lir, spill_base=n_location_slots)
+    native, n_spills, _ = generate(lir, spill_base=n_location_slots)
     ar = ActivationRecord(n_location_slots + n_spills, GlobalArea())
     ar.slots[: len(slots)] = slots
     machine = NativeMachine(vm, _FakeTree(), ar)
@@ -63,7 +63,7 @@ class TestBasicCodegen:
         add = LIns("addi", (a, b), type="i")
         store = LIns("star", (add,), slot=2)
         exit_ins = LIns("x", exit=final_exit())
-        native, n_spills = generate([a, b, add, store, exit_ins], spill_base=8)
+        native, n_spills, _ = generate([a, b, add, store, exit_ins], spill_base=8)
         assert len(native) == 5
         assert n_spills == 0
 
@@ -79,7 +79,7 @@ class TestBasicCodegen:
     def test_guard_fuses_overflow(self):
         a = LIns("param", slot=0, type="i")
         add = LIns("addi", (a, a), type="i", exit=final_exit())
-        native, _ = generate([a, add], spill_base=8)
+        native, _, _ = generate([a, add], spill_base=8)
         assert [insn.op for insn in native] == ["ldar", "addi", "govf"]
 
     def test_compare_fuses_into_guard(self):
@@ -90,7 +90,7 @@ class TestBasicCodegen:
         cmp_ins = LIns("lti", (a, b), type="b")
         guard = LIns("xf", (cmp_ins,), exit=final_exit())
         end = LIns("x", exit=final_exit())
-        native, _ = generate([a, b, cmp_ins, guard, end], spill_base=8)
+        native, _, _ = generate([a, b, cmp_ins, guard, end], spill_base=8)
         assert [insn.op for insn in native] == ["ldar", "ldar", "gcmp", "x"]
 
     def test_multi_use_compare_not_fused(self):
@@ -100,7 +100,7 @@ class TestBasicCodegen:
         guard = LIns("xf", (cmp_ins,), exit=final_exit())
         keep = LIns("star", (cmp_ins,), slot=2)  # second use
         end = LIns("x", exit=final_exit())
-        native, _ = generate([a, b, cmp_ins, guard, keep, end], spill_base=8)
+        native, _, _ = generate([a, b, cmp_ins, guard, keep, end], spill_base=8)
         ops = [insn.op for insn in native]
         assert "gcmp" not in ops
         assert "lti" in ops and "xf" in ops
@@ -126,13 +126,13 @@ class TestBasicCodegen:
     def test_unused_const_skipped(self):
         unused = LIns("const", imm=5, type="i")
         exit_ins = LIns("x", exit=final_exit())
-        native, _ = generate([unused, exit_ins], spill_base=8)
+        native, _, _ = generate([unused, exit_ins], spill_base=8)
         assert [insn.op for insn in native] == ["x"]
 
     def test_format_native_is_readable(self):
         a = LIns("param", slot=0, type="i")
         exit_ins = LIns("x", exit=final_exit())
-        native, _ = generate([a, LIns("star", (a,), slot=1), exit_ins], spill_base=8)
+        native, _, _ = generate([a, LIns("star", (a,), slot=1), exit_ins], spill_base=8)
         text = format_native(native)
         assert "ldar" in text and "star" in text
 
@@ -148,7 +148,7 @@ class TestRegisterPressure:
             lir.append(total)
         lir.append(LIns("star", (total,), slot=20))
         lir.append(LIns("x", exit=final_exit()))
-        native, n_spills = generate(lir, spill_base=32)
+        native, n_spills, _ = generate(lir, spill_base=32)
         assert n_spills > 0
         slots, _event = run_native(lir, list(range(1, N_INT_REGS + 5)), 32)
         assert slots[20] == sum(range(1, N_INT_REGS + 5))
@@ -170,7 +170,7 @@ class TestRegisterPressure:
         lir.append(LIns("star", (isum,), slot=20))
         lir.append(LIns("star", (fsum,), slot=21))
         lir.append(LIns("x", exit=final_exit()))
-        native, n_spills = generate(lir, spill_base=32)
+        native, n_spills, _ = generate(lir, spill_base=32)
         assert n_spills == 0  # separate files: no pressure
         values = list(range(N_INT_REGS)) + [0.5 * i for i in range(4)]
         slots, _event = run_native(lir, values, 32)
