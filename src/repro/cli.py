@@ -17,6 +17,10 @@ Usage::
     python -m repro --fault-sites             # list injection sites
     python -m repro --deadline-cycles 200000 prog.js  # bounded run (exit 3)
     python -m repro batch --suite --deadline-cycles 2000000  # supervisor
+    python -m repro --metrics-json m.json prog.js    # metrics snapshot
+    python -m repro --metrics-prom m.prom prog.js    # Prometheus text
+    python -m repro --trace-export t.json prog.js    # Chrome trace spans
+    python -m repro batch --suite --metrics-json m.json --trace-export t.json
 """
 
 from __future__ import annotations
@@ -132,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not print the program's completion value",
     )
+    add_telemetry_arguments(parser)
     chaos = parser.add_argument_group(
         "chaos engineering (see docs/INTERNALS.md, Failure domains)"
     )
@@ -163,6 +168,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_limit_arguments(parser)
     return parser
+
+
+def add_telemetry_arguments(parser) -> None:
+    telemetry = parser.add_argument_group(
+        "telemetry (see docs/INTERNALS.md, Production telemetry)"
+    )
+    telemetry.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        help=(
+            "enable the live metrics registry and write its JSON "
+            "snapshot (counters/gauges/histograms, schema v1) to FILE"
+        ),
+    )
+    telemetry.add_argument(
+        "--metrics-prom",
+        metavar="FILE",
+        help=(
+            "enable the live metrics registry and write the Prometheus "
+            "text exposition to FILE"
+        ),
+    )
+    telemetry.add_argument(
+        "--trace-export",
+        metavar="FILE",
+        help=(
+            "record lifecycle spans and write Chrome trace-event JSON "
+            "to FILE (loadable in Perfetto / chrome://tracing)"
+        ),
+    )
+
+
+def write_telemetry(vm, args, program: str) -> int:
+    """Write the telemetry artifacts the flags asked for; 0 on success.
+
+    Shared by single-run mode and ``batch``, and also called on the
+    guest-fault path — a terminated run's metrics and spans are exactly
+    the interesting ones.
+    """
+    if args.metrics_json:
+        from repro.obs.metrics import write_metrics_json
+
+        try:
+            write_metrics_json(vm.metrics, args.metrics_json, program=program)
+        except OSError as error:
+            print(f"repro: cannot write {args.metrics_json}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"(metrics written to {args.metrics_json})", file=sys.stderr)
+    if args.metrics_prom:
+        from repro.obs.metrics import write_metrics_prom
+
+        try:
+            write_metrics_prom(vm.metrics, args.metrics_prom)
+        except OSError as error:
+            print(f"repro: cannot write {args.metrics_prom}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"(metrics written to {args.metrics_prom})", file=sys.stderr)
+    if args.trace_export:
+        from repro.obs.spans import write_chrome_trace
+
+        try:
+            write_chrome_trace(vm.span_recorder, args.trace_export,
+                               profiler=vm.profiler, program=program)
+        except OSError as error:
+            print(f"repro: cannot write {args.trace_export}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"(trace written to {args.trace_export})", file=sys.stderr)
+    return 0
 
 
 def add_limit_arguments(parser) -> None:
@@ -375,6 +451,7 @@ def run_batch(argv: list, out) -> int:
         metavar="FILE",
         help="write the shared VM's event stream as JSONL to FILE",
     )
+    add_telemetry_arguments(parser)
     add_limit_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -409,6 +486,8 @@ def run_batch(argv: list, out) -> int:
         max_retries=args.max_retries,
         degrade_after=args.degrade_after,
         capture_events=args.dump_events is not None,
+        capture_metrics=bool(args.metrics_json or args.metrics_prom),
+        capture_spans=args.trace_export is not None,
     )
     results = supervisor.run(jobs)
 
@@ -435,9 +514,28 @@ def run_batch(argv: list, out) -> int:
     )
     print("-" * 90, file=out)
     print(f"{len(results)} jobs: {summary}", file=out)
+    tenants = supervisor.tenant_summary()
+    if tenants:
+        print(file=out)
+        print(
+            f"{'tenant':16} {'jobs':>5} {'ok':>4} {'fault':>6} "
+            f"{'retry':>6} {'cycles':>14} {'heap':>10} {'out':>8}",
+            file=out,
+        )
+        print("-" * 76, file=out)
+        for tenant, usage in tenants.items():
+            print(
+                f"{tenant:16.16} {usage.jobs:>5} {usage.ok:>4} "
+                f"{usage.faulted:>6} {usage.retries:>6} "
+                f"{usage.cycles:>14,} {usage.heap_cells:>10,} "
+                f"{usage.output_bytes:>8,}",
+                file=out,
+            )
     if supervisor.degraded_tenants:
         names = ", ".join(sorted(supervisor.degraded_tenants))
         print(f"degraded tenants (interp-only): {names}", file=out)
+    if write_telemetry(supervisor.vm, args, program="batch"):
+        return 1
     if args.dump_events:
         try:
             count = supervisor.vm.events.write_jsonl(args.dump_events)
@@ -476,6 +574,9 @@ def main(argv: Optional[list] = None, out=None) -> int:
         if args.profile or args.profile_json or args.timeline:
             print("(--profile is per-engine; ignored with --compare)",
                   file=sys.stderr)
+        if args.metrics_json or args.metrics_prom or args.trace_export:
+            print("(telemetry flags are per-engine; ignored with --compare)",
+                  file=sys.stderr)
         if config is not None:
             print("(chaos flags are per-engine; ignored with --compare)",
                   file=sys.stderr)
@@ -486,6 +587,14 @@ def main(argv: Optional[list] = None, out=None) -> int:
         vm.events.capture = True
     if args.profile or args.profile_json or args.timeline:
         vm.enable_profiling(timeline=args.timeline is not None)
+    if args.metrics_json or args.metrics_prom:
+        vm.enable_metrics()
+    program_span = 0
+    if args.trace_export:
+        vm.enable_span_tracing()
+        program_span = vm.span_recorder.open(
+            args.file or "<cli>", cat="program"
+        )
     try:
         code = vm.compile(source, name=args.file or "<cli>")
     except (JSLiteSyntaxError, ReproError) as error:
@@ -505,6 +614,9 @@ def main(argv: Optional[list] = None, out=None) -> int:
         for line in vm.output:
             print(line, file=out)
         print(f"repro: script terminated: {fault}", file=sys.stderr)
+        if program_span:
+            vm.span_recorder.close(program_span, status="terminated")
+        write_telemetry(vm, args, program=args.file or "<cli>")
         if args.dump_events:
             # The breach events are the interesting part of a faulted
             # run; export them even though the run was terminated.
@@ -563,6 +675,10 @@ def main(argv: Optional[list] = None, out=None) -> int:
                   file=sys.stderr)
             return 1
         print(f"(timeline written to {args.timeline})", file=sys.stderr)
+    if program_span:
+        vm.span_recorder.close(program_span, status="ok")
+    if write_telemetry(vm, args, program=args.file or "<cli>"):
+        return 1
     if args.dump_events:
         try:
             count = vm.events.write_jsonl(args.dump_events)

@@ -65,6 +65,10 @@ class TraceCache:
         #: Optional fault injector (repro.hardening) for the
         #: ``link.register`` and ``cache.flush`` sites.
         self.faults = faults
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`, for the
+        #: one retirement path with no event: per-header invalidation.
+        #: Set by :meth:`repro.vm.VM.enable_metrics`; None otherwise.
+        self.metrics = None
         #: (id(code), header_pc) -> list of peer TraceTrees.
         self._trees: Dict[Tuple[int, int], List[object]] = {}
         self._hot_counters: Dict[Tuple[int, int], int] = {}
@@ -248,6 +252,10 @@ class TraceCache:
             self.code_size_used -= tree.code_size_total
             retired += tree.retire()
             self._check_callables_dropped(tree)
+        if self.metrics is not None and retired:
+            self.metrics.fragments_retired.inc(
+                retired, reason=f"invalidate:{reason}"
+            )
         return retired
 
     def flush(self, reason: str, keep=None) -> int:

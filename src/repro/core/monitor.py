@@ -199,9 +199,14 @@ class TraceMonitor:
         if loop_info is None:
             raise VMInternalError(f"LOOPHEADER at pc {pc} has no LoopInfo")
         tree = self.find_matching_tree(interp, frame, pc)
+        metrics = vm.metrics
         if tree is not None:
+            if metrics is not None:
+                metrics.trace_lookups.inc(1, result="hit")
             self.execute_tree(interp, frame, tree, len(interp.frames) - 1)
             return
+        if metrics is not None:
+            metrics.trace_lookups.inc(1, result="miss")
         self.vm.stats.tracing.loops_seen += 1
         count = self.cache.bump_hotness(code, pc)
         if count >= self.config.hotness_threshold:

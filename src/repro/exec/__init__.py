@@ -29,6 +29,7 @@ from repro.exec.supervisor import (
     JobResult,
     JobUsage,
     Supervisor,
+    TenantUsage,
     status_of_fault,
 )
 
@@ -44,6 +45,7 @@ __all__ = [
     "ScriptMeter",
     "ScriptTimeout",
     "Supervisor",
+    "TenantUsage",
     "status_of_fault",
     "string_cells",
 ]

@@ -115,6 +115,10 @@ class ScriptMeter:
         self.heap_cells = 0
         self.output_bytes = 0
         self.max_stack = 0
+        #: Safe-point polls executed (poll-density telemetry; a plain
+        #: int so the hot path stays a few compares even with metrics
+        #: attached — the supervisor flushes it into the registry).
+        self.polls = 0
         #: The breach waiting to be delivered at the next safe point.
         self.pending: Optional[GuestFault] = None
         self.delivered = False
@@ -137,6 +141,7 @@ class ScriptMeter:
         normal Section 6.4 machinery (interpreter loop edge or the
         trace's PREEMPT guard on its next back-edge).
         """
+        self.polls += 1
         if self.pending is not None:
             # Re-arm the flag in case an intermediate service cleared
             # it without delivering (e.g. an INNER exit unwinding).

@@ -91,10 +91,39 @@ class JobResult:
     #: Trace-cache flushes observed while this attempt ran (the retry
     #: heuristic's signal for cache pressure).
     cache_flushes: int = 0
+    #: Counter series that changed while the final attempt ran
+    #: (``{series-name: delta}``), when the supervisor VM has metrics
+    #: attached; None otherwise.  This is the per-job telemetry the
+    #: future sharded tier's admission control consumes.
+    metrics: Optional[Dict[str, float]] = None
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
+
+
+@dataclass
+class TenantUsage:
+    """Aggregated billing for one tenant across a batch."""
+
+    jobs: int = 0
+    ok: int = 0
+    faulted: int = 0
+    retries: int = 0
+    cycles: int = 0
+    heap_cells: int = 0
+    output_bytes: int = 0
+
+    def add(self, result: JobResult) -> None:
+        self.jobs += 1
+        if result.ok:
+            self.ok += 1
+        else:
+            self.faulted += 1
+        self.retries += result.attempts - 1
+        self.cycles += result.usage.cycles
+        self.heap_cells += result.usage.heap_cells
+        self.output_bytes += result.usage.output_bytes
 
 
 def status_of_fault(fault: GuestFault) -> str:
@@ -118,12 +147,20 @@ class Supervisor:
         max_retries: int = 1,
         degrade_after: int = 2,
         capture_events: bool = False,
+        capture_metrics: bool = False,
+        capture_spans: bool = False,
     ):
         self.engine = engine
         self.limits = limits if limits is not None else ResourceLimits()
         self.max_retries = max_retries
         self.degrade_after = degrade_after
         self.vm = self._make_vm(engine, config, capture_events)
+        if capture_metrics:
+            self.vm.enable_metrics()
+        if capture_spans:
+            self.vm.enable_span_tracing()
+        #: tenant -> aggregated billing, filled as results complete.
+        self.tenant_usage: Dict[str, TenantUsage] = {}
         #: source -> compiled Code; shared across jobs and tenants so
         #: identical programs hit the same loop headers (and traces).
         self._codes: Dict[str, object] = {}
@@ -153,15 +190,35 @@ class Supervisor:
 
     def run(self, jobs: List[Job]) -> List[JobResult]:
         """Run ``jobs`` to completion; returns one result per job, in
-        completion order (retries re-queue behind other jobs)."""
-        queue: List[Tuple[Job, int]] = [(job, 1) for job in jobs]
+        completion order (retries re-queue behind other jobs).
+
+        Queue entries carry their enqueue-time cycle stamp so the span
+        recorder (when attached) can emit the queue-wait interval of
+        every attempt — jobs share one VM, so simulated cycles are a
+        faithful sequential clock for time spent waiting behind other
+        tenants' work.
+        """
+        vm = self.vm
+        metrics = getattr(vm, "metrics", None)
+        spans = getattr(vm, "span_recorder", None)
+        now = vm.stats.ledger.total
+        queue: List[Tuple[Job, int, int]] = [(job, 1, now) for job in jobs]
         results: List[JobResult] = []
         while queue:
-            job, attempt = queue.pop(0)
+            job, attempt, enqueued_at = queue.pop(0)
+            if metrics is not None:
+                metrics.queue_depth.set(len(queue))
+            if spans is not None:
+                waited = spans.now()
+                wait_id = spans.open(
+                    f"queue-wait {job.job_id}", cat="queue", at=enqueued_at,
+                    tenant=job.tenant, attempt=attempt,
+                )
+                spans.close(wait_id, at=waited)
             result = self._run_attempt(job, attempt)
             if self._should_retry(result, attempt):
                 backoff = min(len(queue), 2 ** (attempt - 1))
-                self.vm.events.emit(
+                vm.events.emit(
                     eventkind.JOB_RETRIED,
                     job=job.job_id,
                     tenant=job.tenant,
@@ -169,10 +226,12 @@ class Supervisor:
                     backoff=backoff,
                     status=result.status,
                 )
-                queue.insert(backoff, (job, attempt + 1))
+                queue.insert(backoff, (job, attempt + 1, vm.stats.ledger.total))
                 continue
             self._note_outcome(job, result)
             results.append(result)
+        if metrics is not None:
+            metrics.queue_depth.set(0)
         return results
 
     def run_source(
@@ -199,6 +258,25 @@ class Supervisor:
             self._compile_breaches[job.tenant] = count
             if count >= self.degrade_after:
                 self.degraded_tenants.add(job.tenant)
+        usage = self.tenant_usage.get(job.tenant)
+        if usage is None:
+            usage = self.tenant_usage[job.tenant] = TenantUsage()
+        usage.add(result)
+        metrics = getattr(self.vm, "metrics", None)
+        if metrics is not None:
+            metrics.jobs.inc(1, tenant=job.tenant, status=result.status)
+            metrics.billed_cycles.inc(result.usage.cycles, tenant=job.tenant)
+            metrics.billed_heap_cells.inc(
+                result.usage.heap_cells, tenant=job.tenant
+            )
+            metrics.billed_output_bytes.inc(
+                result.usage.output_bytes, tenant=job.tenant
+            )
+            metrics.degraded_tenants.set(len(self.degraded_tenants))
+
+    def tenant_summary(self) -> Dict[str, TenantUsage]:
+        """Per-tenant aggregated billing, sorted by tenant name."""
+        return dict(sorted(self.tenant_usage.items()))
 
     # -- one attempt --------------------------------------------------------
 
@@ -214,6 +292,15 @@ class Supervisor:
         vm.reset_guest_state()
         limits = job.limits if job.limits is not None else self.limits
         meter = vm.install_meter(limits)
+        metrics = getattr(vm, "metrics", None)
+        counters_before = metrics.flat_counters() if metrics is not None else None
+        spans = getattr(vm, "span_recorder", None)
+        job_span = 0
+        if spans is not None:
+            job_span = spans.open(
+                f"{job.job_id} (attempt {attempt})", cat="job",
+                tenant=job.tenant, attempt=attempt,
+            )
         monitor = getattr(vm, "monitor", None)
         degraded = job.tenant in self.degraded_tenants
         saved_disabled = None
@@ -264,6 +351,14 @@ class Supervisor:
             status = status_of_fault(meter.pending)
             fault_text = str(meter.pending)
             rendered = None
+        metrics_delta = None
+        if metrics is not None:
+            metrics.meter_polls.inc(meter.polls)
+            metrics_delta = metrics.delta(
+                counters_before, metrics.flat_counters()
+            )
+        if spans is not None:
+            spans.close(job_span, status=status)
         return JobResult(
             job_id=job.job_id,
             tenant=job.tenant,
@@ -275,4 +370,5 @@ class Supervisor:
             fault=fault_text,
             output=tuple(vm.output),
             cache_flushes=tracing.cache_flushes - flushes_before,
+            metrics=metrics_delta,
         )

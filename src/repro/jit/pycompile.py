@@ -840,14 +840,21 @@ def compile_fragment_py(vm, fragment):
         except AttributeError:
             pass  # a stub without the latch still falls back correctly
         _contain_pycompile_failure(vm, fragment, error)
+        if vm.metrics is not None:
+            vm.metrics.pycompile_failures.inc()
         return None
     fragment.py_func = fn
     fragment.py_consts = consts
+    elapsed = time.perf_counter() - started
     profiler = vm.profiler
     if profiler is not None:
         tree = getattr(fragment, "tree", None)
         if tree is not None and hasattr(tree, "code"):
-            profiler.note_pycompile(tree, time.perf_counter() - started)
+            profiler.note_pycompile(tree, elapsed)
+    metrics = vm.metrics
+    if metrics is not None:
+        metrics.pycompile_fragments.inc()
+        metrics.pycompile_wall.observe(elapsed)
     return fn
 
 

@@ -9,10 +9,19 @@ paper's whole-system observability story:
 * :mod:`repro.obs.report` — the ``--profile`` report: phase breakdown,
   hot-loop table, top deopt sites;
 * :mod:`repro.obs.timeline` — TraceVis-style ASCII and self-contained
-  HTML timeline renderers (``--timeline``).
+  HTML timeline renderers (``--timeline``);
+* :mod:`repro.obs.metrics` — the live
+  :class:`~repro.obs.metrics.MetricsRegistry` (counters / gauges /
+  histograms; ``--metrics-json`` / ``--metrics-prom``);
+* :mod:`repro.obs.spans` — span-based job tracing exported as Chrome
+  trace-event JSON (``--trace-export``);
+* :mod:`repro.obs.validate` — schema validation for every telemetry
+  artifact the CLI emits (``python -m repro.obs.validate``).
 
-Profiling is off by default and adds no simulated cycles when enabled;
-see :meth:`repro.vm.VM.enable_profiling`.
+All of it is off by default and charges no simulated cycles when
+enabled; see :meth:`repro.vm.VM.enable_profiling`,
+:meth:`~repro.vm.VM.enable_metrics`, and
+:meth:`~repro.vm.VM.enable_span_tracing`.
 """
 
 from repro.obs.profiler import (
@@ -29,7 +38,21 @@ from repro.obs.profiler import (
     LoopProfile,
     PhaseProfiler,
 )
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    write_metrics_json,
+    write_metrics_prom,
+)
 from repro.obs.report import profile_json, profile_report, write_profile_json
+from repro.obs.spans import (
+    SPANS_SCHEMA_VERSION,
+    SpanRecorder,
+    write_chrome_trace,
+)
 from repro.obs.timeline import render_ascii, render_html, write_timeline
 
 __all__ = [
@@ -42,9 +65,19 @@ __all__ = [
     "PHASE_NATIVE",
     "PHASE_RECORD",
     "PROFILE_SCHEMA_VERSION",
+    "METRICS_SCHEMA_VERSION",
+    "SPANS_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
     "GuardProfile",
+    "Histogram",
     "LoopProfile",
+    "MetricsRegistry",
     "PhaseProfiler",
+    "SpanRecorder",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "write_metrics_prom",
     "profile_json",
     "profile_report",
     "write_profile_json",

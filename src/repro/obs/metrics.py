@@ -1,0 +1,594 @@
+"""Live metrics registry: counters, gauges, histograms for serving.
+
+The profiler (:mod:`repro.obs.profiler`) answers "where did the cycles
+of *this finished run* go"; a serving tier needs the complementary
+question answered continuously: "what is the VM doing *right now*, and
+at what rate".  This module is that layer — a low-overhead registry of
+named instruments in the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing totals (side exits taken,
+  recordings aborted by reason, jobs completed by tenant and status);
+* :class:`Gauge` — point-in-time levels (trace-cache code bytes, queue
+  depth, simulated cycles by activity);
+* :class:`Histogram` — fixed-bucket distributions (pycompile wall time).
+
+Every instrument is a *family*: one name + help string, with one series
+per distinct label combination (``repro_side_exits_total{kind="type"}``).
+
+Wiring follows the repo's observability idiom.  Lifecycle facts that
+already flow through the structured event stream are **folded** from it
+(:meth:`MetricsRegistry.apply_event` subscribes exactly like the stats
+fold does), so the counters can never drift from the events.  Facts the
+stream does not carry get direct hooks at the boundary that owns them —
+the monitor's trace lookup (hit/miss), the cache's per-header
+invalidation, pycompile's wall-clock histogram, the supervisor's queue
+and billing — each guarded by one ``vm.metrics is not None`` attribute
+test.  Point-in-time levels (ledger cycles, cache residency) are
+sampled by **collectors** at snapshot time, Prometheus-scrape style,
+so the hot path never maintains them.
+
+The contract matches the profiler's: the registry charges **zero
+simulated cycles**, every hook site is skipped when ``vm.metrics is
+None`` (the default), and benchmark tables are byte-identical with
+telemetry on or off.
+
+Exports: :meth:`MetricsRegistry.snapshot` (JSON document, schema v1,
+CLI ``--metrics-json``) and :meth:`MetricsRegistry.to_prometheus`
+(text exposition format, CLI ``--metrics-prom``).  See
+docs/INTERNALS.md section 14 for the instrument catalogue and schemas.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import events as eventkind
+from repro.costs import Activity
+
+#: Version of the metrics snapshot JSON document (see INTERNALS §14).
+METRICS_SCHEMA_VERSION = 1
+
+#: Wall-seconds buckets for compile-time histograms (pycompile is a
+#: sub-millisecond affair per fragment; the tail buckets catch
+#: pathological emissions).
+COMPILE_WALL_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _series_name(name: str, label_names: Sequence[str],
+                 label_values: Tuple[str, ...]) -> str:
+    """Prometheus-style series identity, e.g. ``foo_total{kind="type"}``."""
+    if not label_names:
+        return name
+    inner = ",".join(
+        f'{label}="{_escape_label_value(value)}"'
+        for label, value in zip(label_names, label_values)
+    )
+    return f"{name}{{{inner}}}"
+
+
+class _Instrument:
+    """Shared family plumbing: name, help, label names, series table."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+
+    def _key(self, labels: dict) -> Tuple[str, ...]:
+        if len(labels) != len(self.label_names):
+            missing = set(self.label_names) - set(labels)
+            extra = set(labels) - set(self.label_names)
+            raise ValueError(
+                f"{self.name}: labels mismatch (missing={sorted(missing)}, "
+                f"unexpected={sorted(extra)})"
+            )
+        return tuple(str(labels[label]) for label in self.label_names)
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total (one series per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name, help, label_names=()):
+        super().__init__(name, help, label_names)
+        self.values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up ({amount})")
+        key = self._key(labels)
+        self.values[key] = self.values.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        return self.values.get(self._key(labels), 0)
+
+    @property
+    def total(self) -> float:
+        """Sum over every series of the family."""
+        return sum(self.values.values())
+
+    def series(self) -> List[dict]:
+        return [
+            {
+                "labels": dict(zip(self.label_names, key)),
+                "value": value,
+            }
+            for key, value in sorted(self.values.items())
+        ]
+
+    def expose(self, lines: List[str]) -> None:
+        for key, value in sorted(self.values.items()):
+            lines.append(
+                f"{_series_name(self.name, self.label_names, key)} {_num(value)}"
+            )
+
+
+class Gauge(Counter):
+    """A point-in-time level; settable, and may go down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self.values[self._key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = self._key(labels)
+        self.values[key] = self.values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution with a sum and a count per series."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, buckets: Sequence[float], label_names=()):
+        super().__init__(name, help, label_names)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"{self.name}: buckets must be sorted, non-empty")
+        self.buckets = tuple(buckets)
+        #: key -> [per-bucket counts..., overflow count, sum, count]
+        self.values: Dict[Tuple[str, ...], list] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        cells = self.values.get(key)
+        if cells is None:
+            cells = [0] * (len(self.buckets) + 1) + [0.0, 0]
+            self.values[key] = cells
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                cells[index] += 1
+                break
+        else:
+            cells[len(self.buckets)] += 1
+        cells[-2] += value
+        cells[-1] += 1
+
+    def series(self) -> List[dict]:
+        out = []
+        for key, cells in sorted(self.values.items()):
+            cumulative = 0
+            buckets = []
+            for index, bound in enumerate(self.buckets):
+                cumulative += cells[index]
+                buckets.append({"le": bound, "count": cumulative})
+            buckets.append(
+                {"le": "+Inf", "count": cumulative + cells[len(self.buckets)]}
+            )
+            out.append(
+                {
+                    "labels": dict(zip(self.label_names, key)),
+                    "buckets": buckets,
+                    "sum": cells[-2],
+                    "count": cells[-1],
+                }
+            )
+        return out
+
+    def expose(self, lines: List[str]) -> None:
+        for entry in self.series():
+            key = tuple(entry["labels"].get(n, "") for n in self.label_names)
+            for bucket in entry["buckets"]:
+                le = bucket["le"]
+                le_str = "+Inf" if le == "+Inf" else _num(le)
+                bucket_key = key + (le_str,)
+                bucket_labels = self.label_names + ("le",)
+                lines.append(
+                    f"{_series_name(self.name + '_bucket', bucket_labels, bucket_key)}"
+                    f" {bucket['count']}"
+                )
+            lines.append(
+                f"{_series_name(self.name + '_sum', self.label_names, key)}"
+                f" {_num(entry['sum'])}"
+            )
+            lines.append(
+                f"{_series_name(self.name + '_count', self.label_names, key)}"
+                f" {entry['count']}"
+            )
+
+
+def _num(value) -> str:
+    """Render ints without a trailing ``.0`` (Prometheus accepts both;
+    integers keep the exposition diff-friendly)."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class MetricsRegistry:
+    """All instruments of one VM, plus the event fold and collectors.
+
+    Attach with :meth:`repro.vm.VM.enable_metrics`; the full instrument
+    catalogue is pre-registered here so hook sites grab attributes
+    instead of doing name lookups, and so snapshots always list every
+    family (empty families export their HELP/TYPE header only).
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, _Instrument] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+        # -- monitor / dispatch ------------------------------------------------
+        self.trace_lookups = self.counter(
+            "repro_trace_lookups_total",
+            "Monitor lookups at loop headers, by result (hit = a compiled "
+            "tree matched and ran).",
+            ("result",),
+        )
+        self.recordings = self.counter(
+            "repro_recordings_total",
+            "Trace recordings started, by fragment kind (root/branch).",
+            ("fragment",),
+        )
+        self.record_aborts = self.counter(
+            "repro_record_aborts_total",
+            "Trace recordings abandoned, by abort reason.",
+            ("reason",),
+        )
+        self.compiles = self.counter(
+            "repro_compiles_total",
+            "Fragments compiled (whole-trace optimizer + codegen), by kind.",
+            ("fragment",),
+        )
+        self.compiled_code_bytes = self.counter(
+            "repro_compiled_code_bytes_total",
+            "Simulated native code bytes emitted by all compilations.",
+        )
+        self.side_exits = self.counter(
+            "repro_side_exits_total",
+            "Side exits that returned control to the monitor, by guard kind.",
+            ("kind",),
+        )
+        self.unstable_links = self.counter(
+            "repro_unstable_links_total",
+            "Type-unstable exits chained directly into a complementary peer.",
+        )
+        self.backoffs = self.counter(
+            "repro_backoffs_total",
+            "Headers backing off after recording failures/blacklist checks.",
+        )
+        self.blacklists = self.counter(
+            "repro_blacklists_total",
+            "Loop headers blacklisted (LOOPHEADER patched to a NOP).",
+        )
+        self.capacity_refusals = self.counter(
+            "repro_capacity_refusals_total",
+            "Recordings refused by capacity caps (peer-overflow/branch-cap).",
+            ("kind",),
+        )
+
+        # -- trace cache -------------------------------------------------------
+        self.fragments_linked = self.counter(
+            "repro_fragments_linked_total",
+            "Fragments linked into the trace cache, by kind.",
+            ("fragment",),
+        )
+        self.fragments_retired = self.counter(
+            "repro_fragments_retired_total",
+            "Fragments evicted from the cache, by eviction path "
+            "(flush:<reason> or invalidate:<reason>).",
+            ("reason",),
+        )
+        self.cache_flushes = self.counter(
+            "repro_cache_flushes_total",
+            "Whole-cache flushes, by reason.",
+            ("reason",),
+        )
+        self.cache_code_size = self.gauge(
+            "repro_cache_code_size_bytes",
+            "Simulated native code bytes currently linked in the cache.",
+        )
+        self.cache_trees = self.gauge(
+            "repro_cache_trees",
+            "Trace trees currently resident in the cache.",
+        )
+        self.cache_fragments = self.gauge(
+            "repro_cache_fragments",
+            "Linked fragments currently resident (trunks + branches).",
+        )
+
+        # -- firewall / chaos --------------------------------------------------
+        self.firewall_trips = self.counter(
+            "repro_firewall_trips_total",
+            "Internal JIT failures contained, by phase boundary.",
+            ("boundary",),
+        )
+        self.safe_mode_entries = self.counter(
+            "repro_safe_mode_entries_total",
+            "Safe-mode circuit-breaker trips (tracing disabled for the run).",
+        )
+        self.faults_injected = self.counter(
+            "repro_faults_injected_total",
+            "Chaos-harness faults injected, by site.",
+            ("site",),
+        )
+
+        # -- pycompile ---------------------------------------------------------
+        self.pycompile_fragments = self.counter(
+            "repro_pycompile_fragments_total",
+            "Fragments successfully compiled to Python functions.",
+        )
+        self.pycompile_failures = self.counter(
+            "repro_pycompile_failures_total",
+            "Fragment-to-Python emissions that failed (step fallback).",
+        )
+        self.pycompile_wall = self.histogram(
+            "repro_pycompile_wall_seconds",
+            "Wall seconds per fragment-to-Python compilation.",
+            COMPILE_WALL_BUCKETS,
+        )
+
+        # -- supervisor / metering ---------------------------------------------
+        self.guest_faults = self.counter(
+            "repro_guest_faults_total",
+            "Guest resource-policy violations, by fault kind.",
+            ("kind",),
+        )
+        self.quota_breaches = self.counter(
+            "repro_quota_breaches_total",
+            "Quota breaches, by resource (heap-cells, output-bytes, ...).",
+            ("resource",),
+        )
+        self.meter_polls = self.counter(
+            "repro_meter_polls_total",
+            "Safe-point polls executed by installed script meters.",
+        )
+        self.jobs = self.counter(
+            "repro_jobs_total",
+            "Supervisor jobs completed, by tenant and final status.",
+            ("tenant", "status"),
+        )
+        self.job_retries = self.counter(
+            "repro_job_retries_total",
+            "Supervisor jobs re-queued after cache-pressure breaches.",
+            ("tenant",),
+        )
+        self.billed_cycles = self.counter(
+            "repro_billed_cycles_total",
+            "Simulated cycles billed to jobs, by tenant.",
+            ("tenant",),
+        )
+        self.billed_heap_cells = self.counter(
+            "repro_billed_heap_cells_total",
+            "Heap cells billed to jobs, by tenant.",
+            ("tenant",),
+        )
+        self.billed_output_bytes = self.counter(
+            "repro_billed_output_bytes_total",
+            "Output bytes billed to jobs, by tenant.",
+            ("tenant",),
+        )
+        self.queue_depth = self.gauge(
+            "repro_queue_depth",
+            "Jobs waiting in the supervisor queue.",
+        )
+        self.degraded_tenants = self.gauge(
+            "repro_degraded_tenants",
+            "Tenants currently demoted to interpreter-only mode.",
+        )
+
+        # -- the ledger (sampled) ----------------------------------------------
+        self.simulated_cycles = self.gauge(
+            "repro_simulated_cycles",
+            "Simulated cycles consumed so far, by VM activity (sampled "
+            "from the cycle ledger at snapshot time; the sum across "
+            "activities equals the ledger total exactly).",
+            ("activity",),
+        )
+
+    # -- registration ----------------------------------------------------------
+
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        existing = self._instruments.get(instrument.name)
+        if existing is not None:
+            if (
+                type(existing) is not type(instrument)
+                or existing.label_names != instrument.label_names
+            ):
+                raise ValueError(
+                    f"instrument {instrument.name!r} re-registered with a "
+                    f"different type or label set"
+                )
+            return existing
+        self._instruments[instrument.name] = instrument
+        return instrument
+
+    def counter(self, name, help, label_names=()) -> Counter:
+        return self._register(Counter(name, help, label_names))
+
+    def gauge(self, name, help, label_names=()) -> Gauge:
+        return self._register(Gauge(name, help, label_names))
+
+    def histogram(self, name, help, buckets, label_names=()) -> Histogram:
+        return self._register(Histogram(name, help, buckets, label_names))
+
+    def add_collector(self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        """Register a sampler run before every snapshot/exposition.
+
+        Collectors set gauges from live VM state (ledger totals, cache
+        residency) so the hot path never maintains them.
+        """
+        self._collectors.append(fn)
+
+    def collect(self) -> None:
+        for collector in self._collectors:
+            collector(self)
+
+    # -- the event fold ----------------------------------------------------------
+
+    def apply_event(self, event) -> None:
+        """Fold one :class:`repro.core.events.TraceEvent` into counters.
+
+        Subscribed by :meth:`repro.vm.VM.enable_metrics` exactly like
+        the stats fold, so lifecycle counters share the stats counters'
+        single source of truth.
+        """
+        kind = event.kind
+        payload = event.payload
+        if kind == eventkind.SIDE_EXIT:
+            self.side_exits.inc(1, kind=payload.get("exit_kind", "?"))
+        elif kind == eventkind.RECORD_START:
+            self.recordings.inc(1, fragment=payload.get("fragment", "?"))
+        elif kind == eventkind.RECORD_ABORT:
+            self.record_aborts.inc(1, reason=payload.get("reason", "?"))
+        elif kind == eventkind.COMPILE:
+            self.compiles.inc(1, fragment=payload.get("fragment", "?"))
+            self.compiled_code_bytes.inc(payload.get("code_size", 0))
+        elif kind == eventkind.LINK:
+            self.fragments_linked.inc(1, fragment=payload.get("fragment", "?"))
+        elif kind == eventkind.UNSTABLE_LINK:
+            self.unstable_links.inc()
+        elif kind == eventkind.BACKOFF:
+            self.backoffs.inc()
+        elif kind == eventkind.BLACKLIST:
+            self.blacklists.inc()
+        elif kind == eventkind.FLUSH:
+            reason = payload.get("reason", "?")
+            self.cache_flushes.inc(1, reason=reason)
+            self.fragments_retired.inc(
+                payload.get("fragments", 0), reason=f"flush:{reason}"
+            )
+        elif kind == eventkind.PEER_OVERFLOW:
+            self.capacity_refusals.inc(1, kind="peer-overflow")
+        elif kind == eventkind.BRANCH_CAP:
+            self.capacity_refusals.inc(1, kind="branch-cap")
+        elif kind == eventkind.JIT_INTERNAL_FAILURE:
+            self.firewall_trips.inc(1, boundary=payload.get("boundary", "?"))
+        elif kind == eventkind.SAFE_MODE:
+            self.safe_mode_entries.inc()
+        elif kind == eventkind.FAULT_INJECTED:
+            self.faults_injected.inc(1, site=payload.get("site", "?"))
+        elif kind == eventkind.SCRIPT_DEADLINE:
+            self.guest_faults.inc(1, kind="deadline")
+        elif kind == eventkind.QUOTA_EXCEEDED:
+            self.guest_faults.inc(1, kind="quota")
+            self.quota_breaches.inc(1, resource=payload.get("resource", "?"))
+        elif kind == eventkind.SCRIPT_CANCELLED:
+            self.guest_faults.inc(1, kind="cancelled")
+        elif kind == eventkind.JOB_RETRIED:
+            self.job_retries.inc(1, tenant=payload.get("tenant", "?"))
+
+    # -- export ------------------------------------------------------------------
+
+    def snapshot(self, program: Optional[str] = None) -> dict:
+        """Point-in-time JSON document (schema v1; CLI ``--metrics-json``)."""
+        self.collect()
+        counters, gauges, histograms = [], [], []
+        for instrument in self._instruments.values():
+            entry = {
+                "name": instrument.name,
+                "help": instrument.help,
+                "label_names": list(instrument.label_names),
+                "series": instrument.series(),
+            }
+            if instrument.kind == "counter":
+                counters.append(entry)
+            elif instrument.kind == "gauge":
+                gauges.append(entry)
+            else:
+                histograms.append(entry)
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "program": program,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (CLI ``--metrics-prom``)."""
+        self.collect()
+        lines: List[str] = []
+        for instrument in self._instruments.values():
+            lines.append(f"# HELP {instrument.name} {instrument.help}")
+            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+            instrument.expose(lines)
+        lines.append("")
+        return "\n".join(lines)
+
+    def flat_counters(self) -> Dict[str, float]:
+        """Every counter series as ``{series-name: value}``.
+
+        The supervisor diffs two of these around a job attempt to build
+        the per-job metrics delta carried on :class:`repro.exec.JobResult`.
+        """
+        flat: Dict[str, float] = {}
+        for instrument in self._instruments.values():
+            if instrument.kind != "counter":
+                continue
+            for key, value in instrument.values.items():
+                flat[_series_name(instrument.name, instrument.label_names, key)] = value
+        return flat
+
+    @staticmethod
+    def delta(before: Dict[str, float], after: Dict[str, float]) -> Dict[str, float]:
+        """Changed counter series between two :meth:`flat_counters` maps."""
+        out = {}
+        for name, value in after.items():
+            diff = value - before.get(name, 0)
+            if diff:
+                out[name] = diff
+        return out
+
+
+def attach_vm_collector(registry: MetricsRegistry, vm) -> None:
+    """Sample ledger and cache levels into gauges at snapshot time."""
+
+    def _collect(reg: MetricsRegistry) -> None:
+        for activity, cycles in vm.stats.ledger.by_activity.items():
+            reg.simulated_cycles.set(cycles, activity=activity.value)
+        monitor = getattr(vm, "monitor", None)
+        if monitor is not None:
+            cache = monitor.cache
+            reg.cache_code_size.set(cache.code_size_used)
+            reg.cache_trees.set(cache.tree_count)
+            reg.cache_fragments.set(cache.fragment_count)
+
+    registry.add_collector(_collect)
+
+
+def write_metrics_json(registry: MetricsRegistry, path: str,
+                       program: Optional[str] = None) -> None:
+    with open(path, "w") as handle:
+        json.dump(registry.snapshot(program=program), handle, indent=2)
+        handle.write("\n")
+
+
+def write_metrics_prom(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(registry.to_prometheus())

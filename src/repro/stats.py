@@ -186,6 +186,9 @@ class VMStats:
     #: The attached :class:`repro.obs.profiler.PhaseProfiler`, when the
     #: VM enabled profiling (set by :meth:`repro.vm.VM.enable_profiling`).
     profiler: object = None
+    #: The attached :class:`repro.obs.metrics.MetricsRegistry`, when the
+    #: VM enabled metrics (set by :meth:`repro.vm.VM.enable_metrics`).
+    metrics: object = None
 
     @property
     def total_cycles(self) -> int:

@@ -70,6 +70,13 @@ class VMConfig:
     capture_events: bool = False
     profile: bool = False
     profile_timeline: bool = False
+    #: Attach a :class:`repro.obs.metrics.MetricsRegistry` at
+    #: construction (``--metrics-json`` / ``--metrics-prom``).
+    metrics: bool = False
+    #: Attach a :class:`repro.obs.spans.SpanRecorder` at construction
+    #: (``--trace-export``); implies profiling with the timeline on, so
+    #: the exported trace has the VM phase lane.
+    spans: bool = False
     enable_tracing: bool = True
     enable_nesting: bool = True
     enable_oracle: bool = True
@@ -127,6 +134,12 @@ class VM(PreemptionMixin):
         #: Optional :class:`repro.obs.profiler.PhaseProfiler`; ``None``
         #: (the default) keeps every hook site to one attribute test.
         self.profiler = None
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`; same
+        #: contract as the profiler (None by default, one attribute
+        #: test per hook, zero simulated cycles when attached).
+        self.metrics = None
+        #: Optional :class:`repro.obs.spans.SpanRecorder`; ditto.
+        self.span_recorder = None
         self.interpreter = Interpreter(self, self.config.dispatch_cost)
         self.recorder = None
         #: Depth of native trace execution (for reentry detection).
@@ -155,6 +168,10 @@ class VM(PreemptionMixin):
             self.monitor = None
         if self.config.profile:
             self.enable_profiling(timeline=self.config.profile_timeline)
+        if self.config.metrics:
+            self.enable_metrics()
+        if self.config.spans:
+            self.enable_span_tracing()
 
     @property
     def firewall(self):
@@ -178,6 +195,43 @@ class VM(PreemptionMixin):
         elif timeline:
             self.profiler.capture_timeline = True
         return self.profiler
+
+    # -- telemetry -----------------------------------------------------------
+
+    def enable_metrics(self):
+        """Attach (or return) the VM's live metrics registry.
+
+        The registry folds the event stream for lifecycle counters and
+        samples the ledger / cache gauges at snapshot time; direct hook
+        sites (monitor lookup, pycompile, cache eviction) check
+        ``vm.metrics is not None`` — one attribute test when disabled,
+        zero simulated cycles always.
+        """
+        if self.metrics is None:
+            from repro.obs.metrics import MetricsRegistry, attach_vm_collector
+
+            self.metrics = MetricsRegistry()
+            attach_vm_collector(self.metrics, self)
+            self.events.subscribe(self.metrics.apply_event)
+            self.stats.metrics = self.metrics
+            if self.monitor is not None:
+                self.monitor.cache.metrics = self.metrics
+        return self.metrics
+
+    def enable_span_tracing(self):
+        """Attach (or return) the VM's span recorder (``--trace-export``).
+
+        Also enables profiling with the interval timeline: the exported
+        Chrome trace derives its VM-phase lane from the profiler's
+        retained intervals rather than re-instrumenting the phases.
+        """
+        if self.span_recorder is None:
+            from repro.obs.spans import SpanRecorder
+
+            self.enable_profiling(timeline=True)
+            self.span_recorder = SpanRecorder(self)
+            self.events.subscribe(self.span_recorder.apply_event)
+        return self.span_recorder
 
     # -- running code -----------------------------------------------------------
 
