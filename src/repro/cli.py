@@ -21,6 +21,9 @@ Usage::
     python -m repro --metrics-prom m.prom prog.js    # Prometheus text
     python -m repro --trace-export t.json prog.js    # Chrome trace spans
     python -m repro batch --suite --metrics-json m.json --trace-export t.json
+    python -m repro batch --suite --workers 4 --rate spam=2 --shed-after 64
+    python -m repro batch --suite --workers 3 \
+        --inject-fleet-fault fleet.worker_crash --dump-results r.json
 """
 
 from __future__ import annotations
@@ -447,9 +450,99 @@ def run_batch(argv: list, out) -> int:
         ),
     )
     parser.add_argument(
+        "--probation-after",
+        type=int,
+        default=3,
+        metavar="K",
+        help=(
+            "clean interpreter-only jobs before a degraded tenant gets "
+            "the JIT back on half-open probation (default: 3)"
+        ),
+    )
+    parser.add_argument(
+        "--backoff-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed for the jittered retry backoff (default: 0)",
+    )
+    parser.add_argument(
         "--dump-events",
         metavar="FILE",
-        help="write the shared VM's event stream as JSONL to FILE",
+        help=(
+            "write the event stream as JSONL to FILE (the shared VM's "
+            "stream, or the fleet's scheduler stream with --workers)"
+        ),
+    )
+    parser.add_argument(
+        "--dump-results",
+        metavar="FILE",
+        help=(
+            "write the canonical per-job results as JSON to FILE "
+            "(job/tenant/status/result/output, sorted by job id — the "
+            "document the fleet chaos CI diffs across worker counts)"
+        ),
+    )
+    fleet_group = parser.add_argument_group(
+        "fleet (see docs/INTERNALS.md, The serving fleet)"
+    )
+    fleet_group.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help=(
+            "run the batch on a fleet of N worker VMs behind the async "
+            "scheduler (admission control, work stealing, respawn); "
+            "without this flag the batch runs on the single shared VM"
+        ),
+    )
+    fleet_group.add_argument(
+        "--rate",
+        action="append",
+        metavar="TENANT=R",
+        help=(
+            "token-bucket admission limit: at most R jobs/second for "
+            "TENANT (burst max(1,R)); repeatable, fleet mode only"
+        ),
+    )
+    fleet_group.add_argument(
+        "--shed-after",
+        type=int,
+        metavar="Q",
+        help=(
+            "bound the fleet ingress queue: admitting a job while Q are "
+            "already queued sheds it (status 'shed', reason queue-full)"
+        ),
+    )
+    fleet_group.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help=(
+            "wall-clock seconds before the watchdog declares a wedged "
+            "worker hung and replaces it (default: 1.0)"
+        ),
+    )
+    fleet_group.add_argument(
+        "--max-requeues",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "crash/hang resubmissions per job before it is reported "
+            "worker-lost (default: 3)"
+        ),
+    )
+    fleet_group.add_argument(
+        "--inject-fleet-fault",
+        action="append",
+        metavar="SITE[:N]",
+        help=(
+            "inject a fleet-level fault (fleet.worker_crash, "
+            "fleet.worker_hang, fleet.steal_race) on its Nth hit; "
+            "repeatable, fleet mode only"
+        ),
     )
     add_telemetry_arguments(parser)
     add_limit_arguments(parser)
@@ -479,17 +572,76 @@ def run_batch(argv: list, out) -> int:
     if not jobs:
         raise SystemExit("repro: batch needs files and/or --suite")
 
+    if args.workers is None and (args.rate or args.shed_after is not None
+                                 or args.inject_fleet_fault):
+        raise SystemExit(
+            "repro: --rate/--shed-after/--inject-fleet-fault need --workers"
+        )
+
     limits = build_limits(args)
-    supervisor = Supervisor(
-        engine=args.engine,
-        limits=limits,
-        max_retries=args.max_retries,
-        degrade_after=args.degrade_after,
-        capture_events=args.dump_events is not None,
-        capture_metrics=bool(args.metrics_json or args.metrics_prom),
-        capture_spans=args.trace_export is not None,
-    )
-    results = supervisor.run(jobs)
+    capture_metrics = bool(args.metrics_json or args.metrics_prom)
+    fleet = None
+    if args.workers is not None:
+        from repro.exec import Fleet
+
+        rates = {}
+        for spec in args.rate or ():
+            tenant, sep, rate = spec.partition("=")
+            if not sep:
+                raise SystemExit(
+                    f"repro: bad --rate {spec!r}: expected TENANT=R"
+                )
+            try:
+                rates[tenant] = float(rate)
+            except ValueError:
+                raise SystemExit(
+                    f"repro: bad --rate {spec!r}: R must be a number"
+                ) from None
+        fault_plan = None
+        if args.inject_fleet_fault:
+            from repro.hardening import FaultPlan
+
+            try:
+                fault_plan = FaultPlan.parse(args.inject_fleet_fault)
+            except ValueError as error:
+                raise SystemExit(f"repro: {error}") from error
+        fleet = Fleet(
+            workers=args.workers,
+            engine=args.engine,
+            limits=limits,
+            max_retries=args.max_retries,
+            degrade_after=args.degrade_after,
+            probation_after=args.probation_after,
+            backoff_seed=args.backoff_seed,
+            rates=rates,
+            shed_after=args.shed_after,
+            hang_timeout=args.hang_timeout,
+            max_requeues=args.max_requeues,
+            fault_plan=fault_plan,
+            capture_events=args.dump_events is not None,
+            capture_metrics=capture_metrics,
+            capture_spans=args.trace_export is not None,
+        )
+        with fleet:
+            results = fleet.run(jobs)
+        tenants = fleet.tenant_summary()
+        degraded = fleet.degraded_tenants
+        supervisor = None
+    else:
+        supervisor = Supervisor(
+            engine=args.engine,
+            limits=limits,
+            max_retries=args.max_retries,
+            degrade_after=args.degrade_after,
+            probation_after=args.probation_after,
+            backoff_seed=args.backoff_seed,
+            capture_events=args.dump_events is not None,
+            capture_metrics=capture_metrics,
+            capture_spans=args.trace_export is not None,
+        )
+        results = supervisor.run(jobs)
+        tenants = supervisor.tenant_summary()
+        degraded = supervisor.degraded_tenants
 
     print(
         f"{'job':28} {'tenant':12} {'status':14} {'try':>3} "
@@ -514,7 +666,18 @@ def run_batch(argv: list, out) -> int:
     )
     print("-" * 90, file=out)
     print(f"{len(results)} jobs: {summary}", file=out)
-    tenants = supervisor.tenant_summary()
+    if fleet is not None:
+        counts = fleet.counts()
+        fleet_line = ", ".join(
+            f"{counts.get(kind, 0)} {label}"
+            for kind, label in (
+                ("job-shed", "shed"),
+                ("work-stolen", "stolen"),
+                ("worker-respawn", "respawned"),
+                ("job-retried", "retried"),
+            )
+        )
+        print(f"fleet ({args.workers} workers): {fleet_line}", file=out)
     if tenants:
         print(file=out)
         print(
@@ -531,22 +694,90 @@ def run_batch(argv: list, out) -> int:
                 f"{usage.output_bytes:>8,}",
                 file=out,
             )
-    if supervisor.degraded_tenants:
-        names = ", ".join(sorted(supervisor.degraded_tenants))
+    if degraded:
+        names = ", ".join(sorted(degraded))
         print(f"degraded tenants (interp-only): {names}", file=out)
-    if write_telemetry(supervisor.vm, args, program="batch"):
-        return 1
+    if fleet is not None:
+        if _write_fleet_telemetry(fleet, args):
+            return 1
+        event_stream = fleet.events
+    else:
+        if write_telemetry(supervisor.vm, args, program="batch"):
+            return 1
+        event_stream = supervisor.vm.events
     if args.dump_events:
         try:
-            count = supervisor.vm.events.write_jsonl(args.dump_events)
+            count = event_stream.write_jsonl(args.dump_events)
         except OSError as error:
             print(f"repro: cannot write {args.dump_events}: {error}",
                   file=sys.stderr)
             return 1
         print(f"({count} events written to {args.dump_events})",
               file=sys.stderr)
+    if args.dump_results:
+        import json
+
+        doc = {
+            "schema": 1,
+            "results": [
+                {
+                    "job": result.job_id,
+                    "tenant": result.tenant,
+                    "status": result.status,
+                    "result": result.result,
+                    "output": list(result.output),
+                }
+                for result in sorted(results, key=lambda r: r.job_id)
+            ],
+        }
+        try:
+            with open(args.dump_results, "w") as handle:
+                json.dump(doc, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as error:
+            print(f"repro: cannot write {args.dump_results}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"(results written to {args.dump_results})", file=sys.stderr)
     # Contained guest faults are the supervisor working as designed;
     # only host-side problems make batch itself fail.
+    return 0
+
+
+def _write_fleet_telemetry(fleet, args) -> int:
+    """Write the fleet scheduler's metrics/spans artifacts; 0 on success."""
+    if args.metrics_json:
+        from repro.obs.metrics import write_metrics_json
+
+        try:
+            write_metrics_json(fleet.metrics, args.metrics_json,
+                               program="batch-fleet")
+        except OSError as error:
+            print(f"repro: cannot write {args.metrics_json}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"(metrics written to {args.metrics_json})", file=sys.stderr)
+    if args.metrics_prom:
+        from repro.obs.metrics import write_metrics_prom
+
+        try:
+            write_metrics_prom(fleet.metrics, args.metrics_prom)
+        except OSError as error:
+            print(f"repro: cannot write {args.metrics_prom}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"(metrics written to {args.metrics_prom})", file=sys.stderr)
+    if args.trace_export:
+        from repro.obs.spans import write_chrome_trace
+
+        try:
+            write_chrome_trace(fleet.spans, args.trace_export,
+                               program="batch-fleet")
+        except OSError as error:
+            print(f"repro: cannot write {args.trace_export}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"(trace written to {args.trace_export})", file=sys.stderr)
     return 0
 
 
@@ -558,10 +789,10 @@ def main(argv: Optional[list] = None, out=None) -> int:
         return run_batch(argv[1:], out)
     args = build_parser().parse_args(argv)
     if args.fault_sites:
-        from repro.hardening import FAULT_SITES
+        from repro.hardening import ALL_FAULT_SITES
         from repro.hardening.faults import SITE_HELP
 
-        for site in FAULT_SITES:
+        for site in ALL_FAULT_SITES:
             print(f"{site:22}  {SITE_HELP[site]}", file=out)
         return 0
     config = build_config(args)

@@ -33,8 +33,10 @@ from typing import Callable, Dict, Iterator, List, Optional
 #: the supervisor kinds (script-deadline, quota-exceeded,
 #: script-cancelled, job-retried); 5 = compile records carry the
 #: whole-trace optimizer's removal counters (cse, guards_elim,
-#: hoisted).
-EVENT_SCHEMA_VERSION = 5
+#: hoisted); 6 = adds the fleet kinds (job-shed, work-stolen,
+#: worker-online, worker-respawn) and the supervisor's
+#: tenant-probation kind.
+EVENT_SCHEMA_VERSION = 6
 
 # -- event kinds -----------------------------------------------------------------
 
@@ -79,6 +81,21 @@ SCRIPT_CANCELLED = "script-cancelled"
 #: The supervisor re-queued a job whose quota breach coincided with
 #: trace-cache pressure (payload: job, attempt, backoff).
 JOB_RETRIED = "job-retried"
+#: A degraded tenant changed probation state (payload: tenant, phase =
+#: enter / restored / redegraded).
+TENANT_PROBATION = "tenant-probation"
+#: The fleet refused a job without running it (payload: job, tenant,
+#: reason = rate / queue-full / deadline).
+JOB_SHED = "job-shed"
+#: An idle worker stole a queued job from another worker's backlog
+#: (payload: job, tenant, thief, victim).
+WORK_STOLEN = "work-stolen"
+#: A fleet worker came online (payload: worker, replaces=None for the
+#: initial spawn, or the dead worker's id on a respawn).
+WORKER_ONLINE = "worker-online"
+#: A fleet worker was declared dead and replaced (payload: worker,
+#: reason = crash / hang, job = the in-flight job id or None).
+WORKER_RESPAWN = "worker-respawn"
 
 
 class TraceEvent:

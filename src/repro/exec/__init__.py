@@ -30,13 +30,22 @@ from repro.exec.supervisor import (
     JobUsage,
     Supervisor,
     TenantUsage,
+    backoff_slots,
     status_of_fault,
+)
+from repro.exec.fleet import (
+    Fleet,
+    JobShed,
+    TokenBucket,
+    Worker,
 )
 
 __all__ = [
+    "Fleet",
     "GuestFault",
     "Job",
     "JobResult",
+    "JobShed",
     "JobUsage",
     "QuotaExceeded",
     "ResourceLimits",
@@ -46,6 +55,9 @@ __all__ = [
     "ScriptTimeout",
     "Supervisor",
     "TenantUsage",
+    "TokenBucket",
+    "Worker",
+    "backoff_slots",
     "status_of_fault",
     "string_cells",
 ]

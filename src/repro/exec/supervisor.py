@@ -29,6 +29,7 @@ it ended.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -50,6 +51,9 @@ STATUS_QUOTA = "quota"
 STATUS_CANCELLED = "cancelled"
 STATUS_JS_ERROR = "js-error"
 STATUS_COMPILE_ERROR = "compile-error"
+#: Fallback for a :class:`GuestFault` subclass without its own status
+#: (each concrete subclass must map to a *distinct* batch-table status).
+STATUS_FAULT = "guest-fault"
 
 
 @dataclass
@@ -62,6 +66,11 @@ class Job:
     name: Optional[str] = None
     #: Per-job override; falls back to the supervisor's default limits.
     limits: Optional[ResourceLimits] = None
+    #: Fleet-level deadline on the *fleet's wall clock* (absolute, in
+    #: seconds): a job that would only start past this instant is shed,
+    #: never run.  Ignored by the single-VM supervisor, whose queue has
+    #: no admission layer.
+    not_after: Optional[float] = None
 
 
 @dataclass
@@ -127,13 +136,29 @@ class TenantUsage:
 
 
 def status_of_fault(fault: GuestFault) -> str:
+    """Batch-table status for a guest fault; every concrete
+    :class:`GuestFault` subclass maps to its own distinct status, and an
+    unknown subclass falls back to :data:`STATUS_FAULT` (never to one of
+    the specific statuses, which would mis-bill the tenant)."""
     if isinstance(fault, ScriptTimeout):
         return STATUS_TIMEOUT
     if isinstance(fault, ScriptCancelled):
         return STATUS_CANCELLED
     if isinstance(fault, QuotaExceeded):
         return STATUS_QUOTA
-    return STATUS_QUOTA
+    return STATUS_FAULT
+
+
+def backoff_slots(rng: random.Random, attempt: int) -> int:
+    """Retry backoff expressed in *queue slots*: how many other queued
+    jobs should run before this attempt retries.
+
+    Exponential in the attempt number with seeded jitter —
+    ``2**(attempt-1) + U[0, 2**(attempt-1))`` — so colliding retriers
+    decorrelate (classic exponential backoff with jitter) while a fixed
+    seed keeps whole batch runs deterministic."""
+    base = 1 << (attempt - 1)
+    return base + rng.randrange(base)
 
 
 class Supervisor:
@@ -146,6 +171,8 @@ class Supervisor:
         limits: Optional[ResourceLimits] = None,
         max_retries: int = 1,
         degrade_after: int = 2,
+        probation_after: int = 3,
+        backoff_seed: int = 0,
         capture_events: bool = False,
         capture_metrics: bool = False,
         capture_spans: bool = False,
@@ -154,6 +181,10 @@ class Supervisor:
         self.limits = limits if limits is not None else ResourceLimits()
         self.max_retries = max_retries
         self.degrade_after = degrade_after
+        self.probation_after = probation_after
+        #: Seeded jitter source for retry backoff: deterministic for a
+        #: fixed seed, decorrelated between colliding retriers.
+        self._backoff_rng = random.Random(backoff_seed)
         self.vm = self._make_vm(engine, config, capture_events)
         if capture_metrics:
             self.vm.enable_metrics()
@@ -168,6 +199,13 @@ class Supervisor:
         self._compile_breaches: Dict[str, int] = {}
         #: Tenants demoted to interpreter-only mode.
         self.degraded_tenants: Set[str] = set()
+        #: tenant -> consecutive clean interpreter-only jobs while
+        #: degraded (the half-open probation counter).
+        self._clean_interp: Dict[str, int] = {}
+        #: Degraded tenants re-admitted to the JIT on probation: one
+        #: more compile breach re-degrades them immediately, one clean
+        #: JIT job restores them fully.
+        self.probation_tenants: Set[str] = set()
 
     @staticmethod
     def _make_vm(engine: str, config, capture_events: bool):
@@ -217,7 +255,11 @@ class Supervisor:
                 spans.close(wait_id, at=waited)
             result = self._run_attempt(job, attempt)
             if self._should_retry(result, attempt):
-                backoff = min(len(queue), 2 ** (attempt - 1))
+                # Backoff in *queue slots*, not a raw insertion index:
+                # exponential with seeded jitter, clamped to the tail
+                # (an index past the end would otherwise collapse every
+                # deep backoff to front-of-queue via list.insert).
+                backoff = backoff_slots(self._backoff_rng, attempt)
                 vm.events.emit(
                     eventkind.JOB_RETRIED,
                     job=job.job_id,
@@ -226,7 +268,10 @@ class Supervisor:
                     backoff=backoff,
                     status=result.status,
                 )
-                queue.insert(backoff, (job, attempt + 1, vm.stats.ledger.total))
+                position = min(len(queue), backoff)
+                queue.insert(
+                    position, (job, attempt + 1, vm.stats.ledger.total)
+                )
                 continue
             self._note_outcome(job, result)
             results.append(result)
@@ -251,13 +296,60 @@ class Supervisor:
         return result.cache_flushes > 0
 
     def _note_outcome(self, job: Job, result: JobResult) -> None:
-        if result.status == STATUS_QUOTA and result.fault and (
+        tenant = job.tenant
+        compile_breach = result.status == STATUS_QUOTA and result.fault and (
             "compile-cycles" in result.fault
+        )
+        if compile_breach:
+            self._clean_interp.pop(tenant, None)
+            if tenant in self.probation_tenants:
+                # Half-open breach: straight back to interpreter-only,
+                # no second grace period.
+                self.probation_tenants.discard(tenant)
+                self.degraded_tenants.add(tenant)
+                self._compile_breaches[tenant] = self.degrade_after
+                self.vm.events.emit(
+                    eventkind.TENANT_PROBATION,
+                    tenant=tenant,
+                    phase="redegraded",
+                    job=job.job_id,
+                )
+            else:
+                count = self._compile_breaches.get(tenant, 0) + 1
+                self._compile_breaches[tenant] = count
+                if count >= self.degrade_after:
+                    self.degraded_tenants.add(tenant)
+        elif result.engine_mode == "interp-only" and (
+            tenant in self.degraded_tenants
         ):
-            count = self._compile_breaches.get(job.tenant, 0) + 1
-            self._compile_breaches[job.tenant] = count
-            if count >= self.degrade_after:
-                self.degraded_tenants.add(job.tenant)
+            # Half-open circuit: after probation_after consecutive
+            # clean interpreter-only jobs, let the tenant try the JIT
+            # again on probation.
+            if result.ok:
+                count = self._clean_interp.get(tenant, 0) + 1
+                self._clean_interp[tenant] = count
+                if count >= self.probation_after:
+                    self.degraded_tenants.discard(tenant)
+                    self.probation_tenants.add(tenant)
+                    self._clean_interp.pop(tenant, None)
+                    self._compile_breaches.pop(tenant, None)
+                    self.vm.events.emit(
+                        eventkind.TENANT_PROBATION,
+                        tenant=tenant,
+                        phase="enter",
+                        job=job.job_id,
+                    )
+            else:
+                self._clean_interp.pop(tenant, None)
+        elif tenant in self.probation_tenants and result.ok:
+            # One clean JIT-enabled job closes the probation window.
+            self.probation_tenants.discard(tenant)
+            self.vm.events.emit(
+                eventkind.TENANT_PROBATION,
+                tenant=tenant,
+                phase="restored",
+                job=job.job_id,
+            )
         usage = self.tenant_usage.get(job.tenant)
         if usage is None:
             usage = self.tenant_usage[job.tenant] = TenantUsage()
@@ -277,6 +369,48 @@ class Supervisor:
     def tenant_summary(self) -> Dict[str, TenantUsage]:
         """Per-tenant aggregated billing, sorted by tenant name."""
         return dict(sorted(self.tenant_usage.items()))
+
+    # -- fleet-facing API ---------------------------------------------------
+    #
+    # The fleet scheduler owns queueing, retry placement, and shedding;
+    # each worker's supervisor only runs attempts and keeps its local
+    # per-tenant policy state.  These wrappers expose exactly that.
+
+    def run_attempt(self, job: Job, attempt: int) -> JobResult:
+        """Run one attempt of ``job`` (no queueing, no retry, no
+        outcome bookkeeping) — the fleet worker's entry point."""
+        return self._run_attempt(job, attempt)
+
+    def note_outcome(self, job: Job, result: JobResult) -> None:
+        """Record ``result`` as ``job``'s final outcome: billing,
+        degradation/probation transitions, and per-job metrics."""
+        self._note_outcome(job, result)
+
+    def should_retry(self, result: JobResult, attempt: int) -> bool:
+        """Whether the cache-pressure retry heuristic would re-queue
+        this attempt (the fleet applies the same discipline)."""
+        return self._should_retry(result, attempt)
+
+    def retry_backoff(self, attempt: int) -> int:
+        """Seeded-jitter backoff (in queue slots) for retrying after
+        ``attempt`` — same discipline as the single-VM queue."""
+        return backoff_slots(self._backoff_rng, attempt)
+
+    def warm_source(self, source: str) -> bool:
+        """Whether this VM's trace cache holds compiled loops for ``source``.
+
+        Distinct from mere *parse* caching (``_codes`` keeps the Code
+        object even after a cache flush): a source is warm only while
+        its trace trees are linked.  The fleet's locality-aware work
+        stealing routes on this.
+        """
+        code = self._codes.get(source)
+        if code is None:
+            return False
+        cache = getattr(self.vm, "monitor", None)
+        if cache is None:  # baseline/interp engines never compile traces
+            return False
+        return cache.cache.holds_code(code)
 
     # -- one attempt --------------------------------------------------------
 

@@ -17,7 +17,9 @@ contained.  This package provides:
 """
 
 from repro.hardening.faults import (
+    ALL_FAULT_SITES,
     FAULT_SITES,
+    FLEET_FAULT_SITES,
     FaultInjector,
     FaultPlan,
     InjectedFault,
@@ -25,7 +27,9 @@ from repro.hardening.faults import (
 from repro.hardening.firewall import JITFirewall
 
 __all__ = [
+    "ALL_FAULT_SITES",
     "FAULT_SITES",
+    "FLEET_FAULT_SITES",
     "FaultInjector",
     "FaultPlan",
     "InjectedFault",

@@ -58,7 +58,19 @@ ORACLE_RECORD = "oracle.record"
 #: fragment simply runs on the step machine).
 PYCOMPILE_EMIT = "pycompile.emit"
 
-#: Every registered injection site, in documentation order.
+#: Fleet scheduling: a worker dies abruptly at the moment it begins a
+#: job attempt (the fleet must respawn it and resubmit the job).
+FLEET_WORKER_CRASH = "fleet.worker_crash"
+#: Fleet scheduling: a worker wedges (stops heartbeating) at the moment
+#: it begins a job attempt; the watchdog must abandon and replace it.
+FLEET_WORKER_HANG = "fleet.worker_hang"
+#: Fleet scheduling: a steal attempt loses the claim race — the victim
+#: keeps the job and the thief must pick other work.
+FLEET_STEAL_RACE = "fleet.steal_race"
+
+#: Every per-VM injection site, in documentation order.  These fire at
+#: JIT phase boundaries inside one VM and are swept by the per-VM chaos
+#: harness (``tests/test_chaos_harness.py``).
 FAULT_SITES = (
     RECORD_OP,
     PIPELINE_FORWARD,
@@ -72,6 +84,19 @@ FAULT_SITES = (
     PYCOMPILE_EMIT,
 )
 
+#: Fleet-level injection sites: they fire at the scheduler boundary of
+#: :class:`repro.exec.fleet.Fleet` (never inside a VM) and are swept by
+#: the fleet chaos harness (``tests/test_fleet.py``, CI ``fleet-soak``).
+FLEET_FAULT_SITES = (
+    FLEET_WORKER_CRASH,
+    FLEET_WORKER_HANG,
+    FLEET_STEAL_RACE,
+)
+
+#: Every registered site, per-VM and fleet-level alike (FaultPlan
+#: validates against this; ``--fault-sites`` prints it).
+ALL_FAULT_SITES = FAULT_SITES + FLEET_FAULT_SITES
+
 #: One-line description per site (``python -m repro --fault-sites``).
 SITE_HELP = {
     RECORD_OP: "trace recorder, once per recorded bytecode",
@@ -84,6 +109,9 @@ SITE_HELP = {
     CACHE_FLUSH: "whole-cache flush, once per flush",
     ORACLE_RECORD: "oracle bookkeeping, once per mark_double",
     PYCOMPILE_EMIT: "python-backend fragment emission, once per fragment",
+    FLEET_WORKER_CRASH: "fleet worker, dies at a job-attempt start",
+    FLEET_WORKER_HANG: "fleet worker, wedges at a job-attempt start",
+    FLEET_STEAL_RACE: "fleet work stealing, thief loses the claim race",
 }
 
 
@@ -105,10 +133,10 @@ class FaultPlan:
 
     def __init__(self, spec: Dict[str, object]):
         for site in spec:
-            if site not in FAULT_SITES:
+            if site not in ALL_FAULT_SITES:
                 raise ValueError(
                     f"unknown fault site {site!r}; known sites: "
-                    + ", ".join(FAULT_SITES)
+                    + ", ".join(ALL_FAULT_SITES)
                 )
         self.spec = dict(spec)
 

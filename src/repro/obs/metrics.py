@@ -401,6 +401,40 @@ class MetricsRegistry:
             "repro_degraded_tenants",
             "Tenants currently demoted to interpreter-only mode.",
         )
+        self.tenant_probations = self.counter(
+            "repro_tenant_probations_total",
+            "Degraded-tenant probation transitions, by phase "
+            "(enter = JIT re-enabled half-open, restored = first clean "
+            "JIT job, redegraded = breached while on probation).",
+            ("tenant", "phase"),
+        )
+
+        # -- the fleet ---------------------------------------------------------
+        self.fleet_workers = self.gauge(
+            "repro_fleet_workers",
+            "Fleet workers currently alive (spawned minus dead).",
+        )
+        self.fleet_worker_queue_depth = self.gauge(
+            "repro_fleet_worker_queue_depth",
+            "Jobs queued on one fleet worker, by worker id.",
+            ("worker",),
+        )
+        self.fleet_sheds = self.counter(
+            "repro_fleet_sheds_total",
+            "Jobs refused by fleet admission control, by tenant and "
+            "reason (rate, queue-full, deadline).",
+            ("tenant", "reason"),
+        )
+        self.fleet_steals = self.counter(
+            "repro_fleet_steals_total",
+            "Queued jobs stolen by an idle worker, by thief worker id.",
+            ("thief",),
+        )
+        self.fleet_respawns = self.counter(
+            "repro_fleet_respawns_total",
+            "Dead fleet workers replaced with a fresh VM, by cause.",
+            ("reason",),
+        )
 
         # -- the ledger (sampled) ----------------------------------------------
         self.simulated_cycles = self.gauge(
@@ -502,6 +536,22 @@ class MetricsRegistry:
             self.guest_faults.inc(1, kind="cancelled")
         elif kind == eventkind.JOB_RETRIED:
             self.job_retries.inc(1, tenant=payload.get("tenant", "?"))
+        elif kind == eventkind.TENANT_PROBATION:
+            self.tenant_probations.inc(
+                1,
+                tenant=payload.get("tenant", "?"),
+                phase=payload.get("phase", "?"),
+            )
+        elif kind == eventkind.JOB_SHED:
+            self.fleet_sheds.inc(
+                1,
+                tenant=payload.get("tenant", "?"),
+                reason=payload.get("reason", "?"),
+            )
+        elif kind == eventkind.WORK_STOLEN:
+            self.fleet_steals.inc(1, thief=payload.get("thief", "?"))
+        elif kind == eventkind.WORKER_RESPAWN:
+            self.fleet_respawns.inc(1, reason=payload.get("reason", "?"))
 
     # -- export ------------------------------------------------------------------
 

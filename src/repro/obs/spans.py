@@ -68,6 +68,11 @@ _INSTANT_KINDS = {
     eventkind.QUOTA_EXCEEDED: ("quota-breach", ("resource", "used", "limit")),
     eventkind.SCRIPT_CANCELLED: ("cancelled", ()),
     eventkind.JOB_RETRIED: ("job-retried", ("job", "tenant", "attempt")),
+    eventkind.TENANT_PROBATION: ("tenant-probation", ("tenant", "phase")),
+    eventkind.JOB_SHED: ("job-shed", ("job", "tenant", "reason")),
+    eventkind.WORK_STOLEN: ("work-stolen", ("job", "thief", "victim")),
+    eventkind.WORKER_ONLINE: ("worker-online", ("worker", "replaces")),
+    eventkind.WORKER_RESPAWN: ("worker-respawn", ("worker", "reason", "job")),
 }
 
 
@@ -117,6 +122,9 @@ class SpanRecorder:
         self.truncated = False
         self._next_id = 1
         self._wall = time.perf_counter
+        #: tid -> lane name for the exported trace; instances may add
+        #: tracks (the fleet recorder adds one lane per worker).
+        self.track_names = dict(_TRACK_NAMES)
 
     # -- clock -------------------------------------------------------------------
 
@@ -191,7 +199,7 @@ class SpanRecorder:
                 "args": {"name": program or "repro-vm"},
             }
         ]
-        for tid, name in _TRACK_NAMES.items():
+        for tid, name in sorted(self.track_names.items()):
             trace_events.append(
                 {
                     "ph": "M", "name": "thread_name", "pid": PID, "tid": tid,
@@ -259,6 +267,64 @@ class SpanRecorder:
             },
             "traceEvents": trace_events,
         }
+
+
+#: First Chrome-trace thread id used for fleet worker lanes (the fleet
+#: recorder keeps TRACK_JOBS for admission/queue spans and TRACK_EVENTS
+#: for instants; each worker gets ``TRACK_WORKER_BASE + worker_id``).
+TRACK_WORKER_BASE = 10
+
+
+class FleetSpanRecorder(SpanRecorder):
+    """Span recorder for :class:`repro.exec.fleet.Fleet`.
+
+    The fleet has no single simulated-cycle ledger — workers each bill
+    their own VM — so its canonical timebase is **host wall-clock
+    microseconds since the recorder was created** (the fleet is the one
+    layer of the system that legitimately lives on host time).  Tracks
+    are one lane per worker plus the shared admission/events lanes, and
+    the recorder is thread-safe: worker threads open and close their
+    job spans concurrently.
+    """
+
+    def __init__(self, clock=None, max_spans: int = 100_000,
+                 max_instants: int = 100_000):
+        import threading
+
+        super().__init__(vm=None, max_spans=max_spans,
+                         max_instants=max_instants)
+        self._clock = clock if clock is not None else time.perf_counter
+        self._t0 = self._clock()
+        self._lock = threading.Lock()
+        self.track_names = {
+            TRACK_JOBS: "admission",
+            TRACK_EVENTS: "events",
+        }
+
+    def now(self) -> int:
+        """Wall-clock microseconds since the recorder was created."""
+        return max(0, int((self._clock() - self._t0) * 1_000_000))
+
+    def add_worker_track(self, worker_id: int) -> int:
+        """Register (or return) the lane for one worker; returns its tid."""
+        tid = TRACK_WORKER_BASE + worker_id
+        with self._lock:
+            self.track_names[tid] = f"worker-{worker_id}"
+        return tid
+
+    def open(self, name, cat="job", track=TRACK_JOBS, parent_id=None,
+             at=None, **args) -> int:
+        with self._lock:
+            return super().open(name, cat=cat, track=track,
+                                parent_id=parent_id, at=at, **args)
+
+    def close(self, span_id, at=None, **args) -> None:
+        with self._lock:
+            super().close(span_id, at=at, **args)
+
+    def instant(self, name, at=None, **args) -> None:
+        with self._lock:
+            super().instant(name, at=at, **args)
 
 
 def write_chrome_trace(recorder: SpanRecorder, path: str,

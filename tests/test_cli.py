@@ -114,3 +114,92 @@ class TestDiagnostics:
         for engine in ("baseline", "threaded", "methodjit", "tracing"):
             assert engine in output
         assert "speedup" in output
+
+
+class TestFleetBatch:
+    """The batch subcommand's fleet mode (--workers and friends)."""
+
+    JOBS = [
+        "var s = 0; for (var i = 0; i < 150; i = i + 1) s = s + i; s;",
+        'print("hello"); 2 + 2;',
+        "var a = []; for (var i = 0; i < 30; i = i + 1) a.push(i); a.length;",
+    ]
+
+    def _write_jobs(self, tmp_path):
+        paths = []
+        for index, source in enumerate(self.JOBS):
+            path = tmp_path / f"job{index}.js"
+            path.write_text(source)
+            paths.append(str(path))
+        return paths
+
+    def test_workers_flag_runs_fleet(self, tmp_path, capsys):
+        paths = self._write_jobs(tmp_path)
+        status, output = run_cli(["batch", "--workers", "2"] + paths)
+        assert status == 0
+        assert "fleet (2 workers):" in output
+        assert "3 jobs: 3 ok" in output
+
+    def test_dump_results_converges_across_worker_counts(self, tmp_path,
+                                                         capsys):
+        import json
+
+        paths = self._write_jobs(tmp_path)
+        one = tmp_path / "r1.json"
+        many = tmp_path / "r3.json"
+        assert run_cli(["batch", "--workers", "1",
+                        "--dump-results", str(one)] + paths)[0] == 0
+        assert run_cli(["batch", "--workers", "3", "--hang-timeout", "0.05",
+                        "--inject-fleet-fault", "fleet.worker_crash",
+                        "--dump-results", str(many)] + paths)[0] == 0
+        assert json.loads(one.read_text()) == json.loads(many.read_text())
+
+    def test_rate_flag_sheds(self, tmp_path, capsys):
+        path = tmp_path / "j.js"
+        path.write_text("1 + 1;")
+        # All three jobs share the tenant (the file stem): rate 1/sec
+        # admits the burst of one and sheds the rest.
+        status, output = run_cli(
+            ["batch", "--workers", "1", "--rate", "j=1",
+             str(path), str(path), str(path)]
+        )
+        assert status == 0
+        assert "shed" in output
+        assert "`- shed: rate" in output
+
+    def test_fleet_flags_require_workers(self, tmp_path):
+        path = tmp_path / "j.js"
+        path.write_text("1;")
+        with pytest.raises(SystemExit, match="--workers"):
+            run_cli(["batch", "--rate", "a=1", str(path)])
+
+    def test_bad_rate_spec(self, tmp_path):
+        path = tmp_path / "j.js"
+        path.write_text("1;")
+        with pytest.raises(SystemExit, match="TENANT=R"):
+            run_cli(["batch", "--workers", "1", "--rate", "oops", str(path)])
+
+    def test_fault_sites_lists_fleet_sites(self):
+        status, output = run_cli(["--fault-sites"])
+        assert status == 0
+        for site in ("fleet.worker_crash", "fleet.worker_hang",
+                     "fleet.steal_race"):
+            assert site in output
+
+    def test_fleet_events_and_telemetry_artifacts(self, tmp_path, capsys):
+        from repro.obs.validate import detect_and_validate
+
+        paths = self._write_jobs(tmp_path)
+        events = tmp_path / "fleet.jsonl"
+        metrics = tmp_path / "fleet-metrics.json"
+        trace = tmp_path / "fleet-trace.json"
+        status, _output = run_cli(
+            ["batch", "--workers", "2",
+             "--dump-events", str(events),
+             "--metrics-json", str(metrics),
+             "--trace-export", str(trace)] + paths
+        )
+        assert status == 0
+        assert "events JSONL" in detect_and_validate(str(events))
+        assert "metrics" in detect_and_validate(str(metrics))
+        assert "Chrome trace" in detect_and_validate(str(trace))

@@ -22,6 +22,8 @@ from repro.exec import (
     JobUsage,
     ResourceLimits,
     Supervisor,
+    backoff_slots,
+    status_of_fault,
     string_cells,
 )
 from repro.hardening.chaos import observe
@@ -436,3 +438,194 @@ class TestSupervisor:
         assert any(
             "guest faults" in line for line in sup.vm.stats.summary_lines()
         )
+
+
+class TestFaultStatusMapping:
+    """Every GuestFault subclass maps to its own distinct batch status."""
+
+    def test_statuses_are_distinct(self):
+        faults = [
+            ScriptTimeout(10, 5),
+            ScriptCancelled("host says no"),
+            QuotaExceeded("heap-cells", 10, 5),
+            GuestFault("some future fault kind"),
+        ]
+        statuses = [status_of_fault(fault) for fault in faults]
+        assert statuses == ["timeout", "cancelled", "quota", "guest-fault"]
+        assert len(set(statuses)) == len(statuses)
+
+    def test_unknown_subclass_never_billed_as_quota(self):
+        class FutureFault(GuestFault):
+            kind = "future-fault"
+
+        assert status_of_fault(FutureFault("boom")) == "guest-fault"
+
+
+class TestRetryBackoff:
+    """Seeded-jitter exponential backoff in queue slots (the
+    positional-insert bug collapsed every deep backoff to the front)."""
+
+    def test_slots_are_exponential_with_jitter(self):
+        import random
+
+        rng = random.Random(7)
+        for attempt in range(1, 8):
+            base = 1 << (attempt - 1)
+            for _ in range(20):
+                slots = backoff_slots(rng, attempt)
+                assert base <= slots < 2 * base
+
+    def test_deterministic_under_fixed_seed(self):
+        sup_a = Supervisor(backoff_seed=42)
+        sup_b = Supervisor(backoff_seed=42)
+        seq_a = [sup_a.retry_backoff(attempt) for attempt in (1, 2, 3, 3, 2)]
+        seq_b = [sup_b.retry_backoff(attempt) for attempt in (1, 2, 3, 3, 2)]
+        assert seq_a == seq_b
+        assert Supervisor(backoff_seed=43).retry_backoff(3) >= 4
+
+    def test_retry_requeues_behind_other_jobs(self):
+        # Force the first attempt of the first job to "fail retryably"
+        # and assert it does not run again immediately: the backoff
+        # places it behind at least one other queued job.
+        sup = Supervisor(max_retries=1, backoff_seed=0)
+        order = []
+        real_attempt = sup._run_attempt
+
+        def spy(job, attempt):
+            order.append((job.job_id, attempt))
+            result = real_attempt(job, attempt)
+            if job.job_id == "flaky" and attempt == 1:
+                result.status = "timeout"
+                result.cache_flushes = 1  # retry heuristic's signal
+            return result
+
+        sup._run_attempt = spy
+        jobs = [
+            Job("flaky", "1 + 1;"),
+            Job("steady-1", "2 + 2;"),
+            Job("steady-2", "3 + 3;"),
+        ]
+        results = sup.run(jobs)
+        retry_position = order.index(("flaky", 2))
+        # Backoff for attempt 1 is exactly 1 slot: one other job runs
+        # before the retry (never front-of-queue).
+        assert order[0] == ("flaky", 1)
+        assert retry_position == 2
+        assert {r.job_id: r.status for r in results} == {
+            "flaky": "ok", "steady-1": "ok", "steady-2": "ok",
+        }
+
+    def test_retry_exhaustion_reports_last_fault(self):
+        # Two attempts, two different faults: the surfaced JobResult
+        # must carry the *last* attempt's fault, not the first's.
+        sup = Supervisor(max_retries=1)
+        faults = {
+            1: ("timeout", "script exceeded its deadline (first attempt)"),
+            2: ("quota", "script exceeded its compile-cycles quota (second)"),
+        }
+
+        def fake_attempt(job, attempt):
+            status, fault = faults[attempt]
+            return JobResult(
+                job_id=job.job_id, tenant=job.tenant, status=status,
+                attempts=attempt, engine_mode="tracing", usage=JobUsage(),
+                fault=fault, cache_flushes=1,
+            )
+
+        sup._run_attempt = fake_attempt
+        result = sup.run([Job("doomed", "1;")])[0]
+        assert result.attempts == 2
+        assert result.status == "quota"
+        assert result.fault == faults[2][1]
+
+
+class TestTenantProbation:
+    """Half-open circuit: degraded tenants earn the JIT back after K
+    clean interpreter-only jobs, on probation."""
+
+    LOOPY = "var s = 0; for (var i = 0; i < 300; i = i + 1) s = s + i; s;"
+
+    def _degraded_supervisor(self, probation_after=2):
+        sup = Supervisor(
+            limits=ResourceLimits(compile_quota=1),
+            degrade_after=1,
+            max_retries=0,
+            probation_after=probation_after,
+            capture_events=True,
+        )
+        breach = sup.run([Job("b0", self.LOOPY, tenant="t")])[0]
+        assert breach.status == "quota"
+        assert "t" in sup.degraded_tenants
+        return sup
+
+    def _clean_job(self, sup, job_id):
+        # Interpreter-only jobs never compile, so a lifted compile
+        # quota is irrelevant; give each a fresh source to prove it.
+        return sup.run([
+            Job(job_id, f"{self.LOOPY} s + {job_id!r};", tenant="t")
+        ])[0]
+
+    def test_probation_after_clean_interp_jobs(self):
+        from repro.core import events as eventkind
+
+        sup = self._degraded_supervisor(probation_after=2)
+        first = self._clean_job(sup, "c1")
+        assert first.engine_mode == "interp-only"
+        assert "t" in sup.degraded_tenants  # one clean job is not enough
+        second = self._clean_job(sup, "c2")
+        assert second.status == "ok"
+        assert "t" not in sup.degraded_tenants
+        assert "t" in sup.probation_tenants
+        probations = sup.vm.events.of_kind(eventkind.TENANT_PROBATION)
+        assert [e.payload["phase"] for e in probations] == ["enter"]
+
+    def test_clean_jit_job_restores_tenant(self):
+        from repro.core import events as eventkind
+
+        sup = self._degraded_supervisor(probation_after=1)
+        self._clean_job(sup, "c1")
+        assert "t" in sup.probation_tenants
+        # On probation the JIT is back; an untraced (cold) source with a
+        # lifted quota completes clean and closes the window.
+        ok = sup.run([
+            Job("clean", "6 * 7;", tenant="t", limits=ResourceLimits())
+        ])[0]
+        assert ok.status == "ok"
+        assert ok.engine_mode != "interp-only"
+        assert "t" not in sup.probation_tenants
+        assert "t" not in sup.degraded_tenants
+        phases = [
+            e.payload["phase"]
+            for e in sup.vm.events.of_kind(eventkind.TENANT_PROBATION)
+        ]
+        assert phases == ["enter", "restored"]
+
+    def test_breach_on_probation_redegrades_immediately(self):
+        from repro.core import events as eventkind
+
+        sup = self._degraded_supervisor(probation_after=1)
+        self._clean_job(sup, "c1")
+        assert "t" in sup.probation_tenants
+        relapse = sup.run([Job("r0", self.LOOPY + " s;", tenant="t")])[0]
+        assert relapse.status == "quota"
+        assert "t" in sup.degraded_tenants
+        assert "t" not in sup.probation_tenants
+        phases = [
+            e.payload["phase"]
+            for e in sup.vm.events.of_kind(eventkind.TENANT_PROBATION)
+        ]
+        assert phases == ["enter", "redegraded"]
+
+    def test_faulted_interp_job_resets_the_clean_counter(self):
+        sup = self._degraded_supervisor(probation_after=2)
+        self._clean_job(sup, "c1")
+        bad = sup.run([
+            Job("bad", INFINITE_LOOP, tenant="t",
+                limits=ResourceLimits(deadline_cycles=50_000))
+        ])[0]
+        assert bad.status == "timeout"
+        # The streak restarted: one more clean job must not be enough.
+        self._clean_job(sup, "c2")
+        assert "t" in sup.degraded_tenants
+        self._clean_job(sup, "c3")
+        assert "t" in sup.probation_tenants
