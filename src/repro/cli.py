@@ -24,6 +24,8 @@ Usage::
     python -m repro batch --suite --workers 4 --rate spam=2 --shed-after 64
     python -m repro batch --suite --workers 3 \
         --inject-fleet-fault fleet.worker_crash --dump-results r.json
+    python -m repro --trace-store store/ prog.js  # persist + warm-start traces
+    python -m repro batch --suite --trace-store store/   # warm the whole suite
 """
 
 from __future__ import annotations
@@ -140,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not print the program's completion value",
     )
     add_telemetry_arguments(parser)
+    add_store_arguments(parser)
     chaos = parser.add_argument_group(
         "chaos engineering (see docs/INTERNALS.md, Failure domains)"
     )
@@ -199,6 +202,31 @@ def add_telemetry_arguments(parser) -> None:
         help=(
             "record lifecycle spans and write Chrome trace-event JSON "
             "to FILE (loadable in Perfetto / chrome://tracing)"
+        ),
+    )
+
+
+def add_store_arguments(parser) -> None:
+    store = parser.add_argument_group(
+        "persistent trace store (see docs/INTERNALS.md, Warm start)"
+    )
+    store.add_argument(
+        "--trace-store",
+        metavar="DIR",
+        help=(
+            "persist linked traces to DIR and preload them on later runs "
+            "of the same source (warm start); any store corruption falls "
+            "back to cold tracing without changing the run's result"
+        ),
+    )
+    store.add_argument(
+        "--trace-store-budget",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help=(
+            "evict oldest store entries once their files exceed BYTES "
+            "(0 = unlimited, the default)"
         ),
     )
 
@@ -300,11 +328,14 @@ def build_config(args):
 
     if not (args.inject_fault or args.chaos_seed is not None
             or args.no_jit_firewall or args.native_backend != "py"
-            or args.opt_level != 2):
+            or args.opt_level != 2 or args.trace_store):
         return None
     config = VMConfig()
     config.native_backend = args.native_backend
     config.opt_level = args.opt_level
+    if args.trace_store:
+        config.trace_store = args.trace_store
+        config.trace_store_budget = args.trace_store_budget
     if args.no_jit_firewall:
         config.enable_jit_firewall = False
     if args.inject_fault:
@@ -545,6 +576,7 @@ def run_batch(argv: list, out) -> int:
         ),
     )
     add_telemetry_arguments(parser)
+    add_store_arguments(parser)
     add_limit_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -580,6 +612,13 @@ def run_batch(argv: list, out) -> int:
 
     limits = build_limits(args)
     capture_metrics = bool(args.metrics_json or args.metrics_prom)
+    batch_config = None
+    if args.trace_store:
+        from repro.vm import VMConfig
+
+        batch_config = VMConfig()
+        batch_config.trace_store = args.trace_store
+        batch_config.trace_store_budget = args.trace_store_budget
     fleet = None
     if args.workers is not None:
         from repro.exec import Fleet
@@ -608,6 +647,7 @@ def run_batch(argv: list, out) -> int:
         fleet = Fleet(
             workers=args.workers,
             engine=args.engine,
+            config=batch_config,
             limits=limits,
             max_retries=args.max_retries,
             degrade_after=args.degrade_after,
@@ -630,6 +670,7 @@ def run_batch(argv: list, out) -> int:
     else:
         supervisor = Supervisor(
             engine=args.engine,
+            config=batch_config,
             limits=limits,
             max_retries=args.max_retries,
             degrade_after=args.degrade_after,
@@ -839,6 +880,11 @@ def main(argv: Optional[list] = None, out=None) -> int:
     limits = build_limits(args)
     if limits is not None:
         vm.install_meter(limits)
+    # main() drives compile/run_code itself (for --disasm), so the
+    # store's preload/persist hooks in vm.run() are replayed here.
+    store = getattr(vm, "trace_store", None)
+    if store is not None:
+        store.preload(vm, source, code)
     try:
         result = vm.run_code(code)
     except GuestFault as fault:
@@ -865,6 +911,8 @@ def main(argv: Optional[list] = None, out=None) -> int:
         print(f"uncaught exception: {to_string(thrown.value)}", file=sys.stderr)
         return 1
 
+    if store is not None:
+        store.persist(vm, source, code)
     for line in vm.output:
         print(line, file=out)
     if not args.no_result:

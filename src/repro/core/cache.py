@@ -69,6 +69,10 @@ class TraceCache:
         #: one retirement path with no event: per-header invalidation.
         #: Set by :meth:`repro.vm.VM.enable_metrics`; None otherwise.
         self.metrics = None
+        #: Optional :class:`repro.core.store.TraceStore`; when set,
+        #: invalidations and flushes supersede the persisted entries so
+        #: a later warm start cannot resurrect retired fragments.
+        self.store = None
         #: (id(code), header_pc) -> list of peer TraceTrees.
         self._trees: Dict[Tuple[int, int], List[object]] = {}
         self._hot_counters: Dict[Tuple[int, int], int] = {}
@@ -267,6 +271,8 @@ class TraceCache:
             self.metrics.fragments_retired.inc(
                 retired, reason=f"invalidate:{reason}"
             )
+        if self.store is not None:
+            self.store.note_invalidated(code)
         return retired
 
     def flush(self, reason: str, keep=None) -> int:
@@ -308,4 +314,6 @@ class TraceCache:
             budget=self.config.code_cache_budget,
             kept=keep is not None,
         )
+        if self.store is not None:
+            self.store.note_flushed()
         return retired

@@ -35,8 +35,10 @@ from typing import Callable, Dict, Iterator, List, Optional
 #: whole-trace optimizer's removal counters (cse, guards_elim,
 #: hoisted); 6 = adds the fleet kinds (job-shed, work-stolen,
 #: worker-online, worker-respawn) and the supervisor's
-#: tenant-probation kind.
-EVENT_SCHEMA_VERSION = 6
+#: tenant-probation kind; 7 = adds the persistent trace-store kinds
+#: (store-save, store-load, store-fallback) and the fleet's
+#: worker-warm-start kind.
+EVENT_SCHEMA_VERSION = 7
 
 # -- event kinds -----------------------------------------------------------------
 
@@ -96,6 +98,19 @@ WORKER_ONLINE = "worker-online"
 #: A fleet worker was declared dead and replaced (payload: worker,
 #: reason = crash / hang, job = the in-flight job id or None).
 WORKER_RESPAWN = "worker-respawn"
+#: The persistent trace store wrote one entry (payload: source,
+#: trees, fragments, bytes, evicted = entries evicted by the budget).
+STORE_SAVE = "store-save"
+#: A trace-store preload finished for one source (payload: source,
+#: result = hit / miss, fragments = count linked on a hit).
+STORE_LOAD = "store-load"
+#: The trace store degraded to cold tracing (payload: boundary =
+#: store.load / store.save, reason, source) — always paired with a
+#: ``jit-internal-failure`` record carrying the contained error.
+STORE_FALLBACK = "store-fallback"
+#: A respawned fleet worker warm-started from the trace store
+#: (payload: worker, sources, fragments).
+WORKER_WARM_START = "worker-warm-start"
 
 
 class TraceEvent:

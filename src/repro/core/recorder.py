@@ -1286,8 +1286,16 @@ class Recorder:
                 self.frames_abs[depth].locals[loc[2]] = fresh
             else:
                 self.frames_abs[depth].this_ins = fresh
-        for name in inner_tree.known_global_names():
-            self.globals_abs.pop(name, None)
+        # Every cached global dies across the call, not just the names
+        # the inner tree imports today: the set of globals a tree
+        # touches stays open until it is retired, and a branch recorded
+        # onto the inner tree *after* this call site was compiled may
+        # write globals the root fragment never mentioned.  Keeping a
+        # pre-call constant alive across the call bakes that stale
+        # value into the outer trace (global stores are write-through
+        # stars into the shared global area, so re-reading is always
+        # sound; it just costs a reload).
+        self.globals_abs.clear()
 
     def _write_back_at_depth(self, loc: tuple, value: LIns) -> None:
         if loc[0] == "local":

@@ -515,6 +515,19 @@ class Fleet:
     def _spawn_worker(self, replaces: Optional[int] = None) -> Worker:
         worker = Worker(self, self._next_worker_id, replaces=replaces)
         self._next_worker_id += 1
+        if (
+            replaces is not None
+            and getattr(worker.supervisor.vm, "trace_store", None) is not None
+        ):
+            # A replacement worker reloads the dead worker's hot traces
+            # from the persistent store instead of re-tracing them all.
+            sources, fragments = worker.supervisor.warm_start_from_store()
+            self.events.emit(
+                eventkind.WORKER_WARM_START,
+                worker=worker.worker_id,
+                sources=sources,
+                fragments=fragments,
+            )
         self._workers.append(worker)
         worker.start()
         return worker

@@ -220,8 +220,10 @@ class Supervisor:
         }
         if engine not in engines:
             raise ValueError(f"unknown engine {engine!r}")
-        if config is None and capture_events:
-            config = VMConfig(capture_events=True)
+        if capture_events:
+            if config is None:
+                config = VMConfig()
+            config.capture_events = True
         return engines[engine](config)
 
     # -- the queue ----------------------------------------------------------
@@ -412,6 +414,34 @@ class Supervisor:
             return False
         return cache.cache.holds_code(code)
 
+    def warm_start_from_store(self) -> tuple:
+        """Preload every live trace-store entry into this VM.
+
+        Compiles each persisted source, primes the shared source→Code
+        cache, and links the persisted traces — the respawned fleet
+        worker's reload-and-verify path.  Returns ``(sources_loaded,
+        fragments_linked)``; every failure is contained per entry (a
+        broken entry costs only its own warm start).
+        """
+        vm = self.vm
+        store = getattr(vm, "trace_store", None)
+        monitor = getattr(vm, "monitor", None)
+        if store is None or monitor is None:
+            return (0, 0)
+        sources = 0
+        fragments_before = monitor.cache.fragment_count
+        for source, name in store.warm_sources():
+            code = self._codes.get(source)
+            if code is None:
+                try:
+                    code = vm.compile(source, name=name)
+                except Exception:
+                    continue  # stale entry for an uncompilable source
+                self._codes[source] = code
+            if store.preload(vm, source, code):
+                sources += 1
+        return (sources, monitor.cache.fragment_count - fragments_before)
+
     # -- one attempt --------------------------------------------------------
 
     def _code_for(self, job: Job):
@@ -419,6 +449,11 @@ class Supervisor:
         if code is None:
             code = self.vm.compile(job.source, name=job.name or job.job_id)
             self._codes[job.source] = code
+            store = getattr(self.vm, "trace_store", None)
+            if store is not None:
+                # Warm-start newly compiled sources from the persistent
+                # store (contained: trouble just means cold tracing).
+                store.preload(self.vm, job.source, code)
         return code
 
     def _run_attempt(self, job: Job, attempt: int) -> JobResult:
@@ -493,6 +528,11 @@ class Supervisor:
             )
         if spans is not None:
             spans.close(job_span, status=status)
+        store = getattr(vm, "trace_store", None)
+        if store is not None and status != STATUS_COMPILE_ERROR:
+            code = self._codes.get(job.source)
+            if code is not None:
+                store.persist(vm, job.source, code)
         return JobResult(
             job_id=job.job_id,
             tenant=job.tenant,

@@ -20,6 +20,7 @@ from repro.hardening.faults import (
     ALL_FAULT_SITES,
     FAULT_SITES,
     FLEET_FAULT_SITES,
+    STORE_FAULT_SITES,
     FaultInjector,
     FaultPlan,
     InjectedFault,
@@ -30,6 +31,7 @@ __all__ = [
     "ALL_FAULT_SITES",
     "FAULT_SITES",
     "FLEET_FAULT_SITES",
+    "STORE_FAULT_SITES",
     "FaultInjector",
     "FaultPlan",
     "InjectedFault",

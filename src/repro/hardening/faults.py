@@ -68,6 +68,16 @@ FLEET_WORKER_HANG = "fleet.worker_hang"
 #: keeps the job and the thief must pick other work.
 FLEET_STEAL_RACE = "fleet.steal_race"
 
+#: Trace store: an entry decodes but is corrupt mid-link (simulated
+#: bit-flip past the checksum); the loader must roll back and re-trace.
+STORE_CORRUPT_ENTRY = "store.corrupt_entry"
+#: Trace store: the writer dies between the temp-file write and the
+#: atomic rename (a stray temp file, no manifest update).
+STORE_PARTIAL_WRITE = "store.partial_write"
+#: Trace store: a concurrent writer swaps the manifest mid-read; the
+#: loader must fall back to cold tracing.
+STORE_LOAD_RACE = "store.load_race"
+
 #: Every per-VM injection site, in documentation order.  These fire at
 #: JIT phase boundaries inside one VM and are swept by the per-VM chaos
 #: harness (``tests/test_chaos_harness.py``).
@@ -93,9 +103,20 @@ FLEET_FAULT_SITES = (
     FLEET_STEAL_RACE,
 )
 
-#: Every registered site, per-VM and fleet-level alike (FaultPlan
-#: validates against this; ``--fault-sites`` prints it).
-ALL_FAULT_SITES = FAULT_SITES + FLEET_FAULT_SITES
+#: Trace-store injection sites: they fire inside the persistent trace
+#: store's save/load paths (``repro.core.store``) and are swept by the
+#: store chaos harness (``tests/test_store.py``, CI ``warmstart``).
+#: Kept out of :data:`FAULT_SITES` so seeded plans keep their historic
+#: sampling.
+STORE_FAULT_SITES = (
+    STORE_CORRUPT_ENTRY,
+    STORE_PARTIAL_WRITE,
+    STORE_LOAD_RACE,
+)
+
+#: Every registered site, per-VM, fleet-level, and store alike
+#: (FaultPlan validates against this; ``--fault-sites`` prints it).
+ALL_FAULT_SITES = FAULT_SITES + FLEET_FAULT_SITES + STORE_FAULT_SITES
 
 #: One-line description per site (``python -m repro --fault-sites``).
 SITE_HELP = {
@@ -112,6 +133,9 @@ SITE_HELP = {
     FLEET_WORKER_CRASH: "fleet worker, dies at a job-attempt start",
     FLEET_WORKER_HANG: "fleet worker, wedges at a job-attempt start",
     FLEET_STEAL_RACE: "fleet work stealing, thief loses the claim race",
+    STORE_CORRUPT_ENTRY: "trace store, entry corrupt mid-link at load",
+    STORE_PARTIAL_WRITE: "trace store, writer dies before the rename",
+    STORE_LOAD_RACE: "trace store, concurrent writer races the load",
 }
 
 

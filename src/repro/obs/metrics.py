@@ -436,6 +436,32 @@ class MetricsRegistry:
             ("reason",),
         )
 
+        # -- the persistent trace store ----------------------------------------
+        self.store_loads = self.counter(
+            "repro_store_loads_total",
+            "Trace-store preload attempts, by result (hit/miss).",
+            ("result",),
+        )
+        self.store_load_failures = self.counter(
+            "repro_store_load_failures_total",
+            "Trace-store loads refused or failed, by reason "
+            "(checksum-mismatch, fingerprint-mismatch, decode-error, ...).",
+            ("reason",),
+        )
+        self.store_saves = self.counter(
+            "repro_store_saves_total",
+            "Trace-store entries written.",
+        )
+        self.store_entries = self.gauge(
+            "repro_store_entries",
+            "Live (non-superseded) entries in the persistent trace store "
+            "(sampled from the manifest at snapshot time).",
+        )
+        self.store_bytes = self.gauge(
+            "repro_store_bytes",
+            "Total bytes of live trace-store entries (sampled).",
+        )
+
         # -- the ledger (sampled) ----------------------------------------------
         self.simulated_cycles = self.gauge(
             "repro_simulated_cycles",
@@ -552,6 +578,13 @@ class MetricsRegistry:
             self.fleet_steals.inc(1, thief=payload.get("thief", "?"))
         elif kind == eventkind.WORKER_RESPAWN:
             self.fleet_respawns.inc(1, reason=payload.get("reason", "?"))
+        elif kind == eventkind.STORE_LOAD:
+            self.store_loads.inc(1, result=payload.get("result", "?"))
+        elif kind == eventkind.STORE_FALLBACK:
+            if payload.get("boundary") == "store.load":
+                self.store_load_failures.inc(1, reason=payload.get("reason", "?"))
+        elif kind == eventkind.STORE_SAVE:
+            self.store_saves.inc()
 
     # -- export ------------------------------------------------------------------
 
@@ -628,6 +661,11 @@ def attach_vm_collector(registry: MetricsRegistry, vm) -> None:
             reg.cache_code_size.set(cache.code_size_used)
             reg.cache_trees.set(cache.tree_count)
             reg.cache_fragments.set(cache.fragment_count)
+        store = getattr(vm, "trace_store", None)
+        if store is not None:
+            entries, nbytes = store.stats()
+            reg.store_entries.set(entries)
+            reg.store_bytes.set(nbytes)
 
     registry.add_collector(_collect)
 

@@ -15,10 +15,11 @@ version match, internal consistency like histogram bucket monotonicity
 and span/track references) — not a full JSON-Schema engine, which the
 container deliberately does not ship.
 
-Current versions: events v6 (:data:`repro.core.events
+Current versions: events v7 (:data:`repro.core.events
 .EVENT_SCHEMA_VERSION`), profile v4 (:data:`repro.obs.profiler
 .PROFILE_SCHEMA_VERSION`), metrics v1, spans v1, BENCH_wallclock v2,
-BENCH_throughput v1.
+BENCH_throughput v1, BENCH_warmstart v1, trace-store manifest v1
+(:data:`repro.core.store.STORE_SCHEMA`).
 """
 
 from __future__ import annotations
@@ -28,12 +29,14 @@ import sys
 from typing import List
 
 from repro.core.events import EVENT_SCHEMA_VERSION
+from repro.core.store import STORE_SCHEMA
 from repro.obs.metrics import METRICS_SCHEMA_VERSION
 from repro.obs.profiler import PROFILE_SCHEMA_VERSION
 from repro.obs.spans import SPANS_SCHEMA_VERSION
 
 BENCH_SCHEMA_VERSION = 2
 THROUGHPUT_SCHEMA_VERSION = 1
+WARMSTART_SCHEMA_VERSION = 1
 
 
 class ValidationError(Exception):
@@ -266,6 +269,105 @@ def validate_bench_throughput(doc: dict) -> int:
     return len(points)
 
 
+def validate_bench_warmstart(doc: dict) -> int:
+    """BENCH_warmstart v1: cold-vs-warm wall clock, speedup machine-gated.
+
+    The file is invalid if warm start is not actually faster than cold
+    tracing (speedup < 1.0) — recording a regression must fail CI, not
+    just look bad on a dashboard.  The headline 2x goal is asserted by
+    the benchmark itself; the artifact gate is the weaker invariant
+    that survives noisy shared runners.
+    """
+    _require(
+        doc.get("schema") == WARMSTART_SCHEMA_VERSION,
+        f"WARMSTART schema {doc.get('schema')} != {WARMSTART_SCHEMA_VERSION}",
+    )
+    _require(doc.get("bench") == "warmstart", "bench field != 'warmstart'")
+    _require(isinstance(doc.get("backend"), str) and doc["backend"],
+             "WARMSTART missing backend")
+    runs = doc.get("runs")
+    _require(isinstance(runs, int) and runs >= 1, "WARMSTART: bad runs")
+    for key in ("cold_seconds", "warm_seconds", "speedup"):
+        value = doc.get(key)
+        _require(isinstance(value, (int, float)) and value > 0,
+                 f"WARMSTART: bad {key}")
+    programs = doc.get("programs")
+    _require(isinstance(programs, list) and programs,
+             "WARMSTART missing per-program entries")
+    for entry in programs:
+        _require(isinstance(entry.get("name"), str), "program without name")
+        for key in ("cold_seconds", "warm_seconds"):
+            value = entry.get(key)
+            _require(isinstance(value, (int, float)) and value > 0,
+                     f"{entry.get('name')}: bad {key}")
+        _require(
+            isinstance(entry.get("fragments"), int) and entry["fragments"] >= 0,
+            f"{entry.get('name')}: bad fragments",
+        )
+    cold = sum(entry["cold_seconds"] for entry in programs)
+    warm = sum(entry["warm_seconds"] for entry in programs)
+    _require(abs(cold - doc["cold_seconds"]) <= 1e-6 * max(cold, 1.0),
+             "cold_seconds does not sum over programs")
+    _require(abs(warm - doc["warm_seconds"]) <= 1e-6 * max(warm, 1.0),
+             "warm_seconds does not sum over programs")
+    _require(
+        abs(doc["speedup"] - cold / warm) <= 1e-6 * doc["speedup"],
+        "speedup is not cold_seconds / warm_seconds",
+    )
+    _require(
+        doc["speedup"] >= 1.0,
+        f"warm start slower than cold tracing (speedup {doc['speedup']:.3f})",
+    )
+    return len(programs)
+
+
+def validate_store_manifest(doc: dict) -> int:
+    """Trace-store manifest v1: versioned entry table with checksums."""
+    _require(
+        doc.get("schema") == STORE_SCHEMA,
+        f"store manifest schema {doc.get('schema')} != {STORE_SCHEMA}",
+    )
+    fingerprint = doc.get("fingerprint")
+    _require(
+        isinstance(fingerprint, str) and len(fingerprint) == 32
+        and all(ch in "0123456789abcdef" for ch in fingerprint),
+        "store manifest: fingerprint is not a 32-hex-digit digest",
+    )
+    generation = doc.get("generation")
+    _require(isinstance(generation, int) and generation >= 0,
+             "store manifest: bad generation")
+    entries = doc.get("entries")
+    _require(isinstance(entries, dict), "store manifest: missing entries")
+    for sha, entry in entries.items():
+        _require(
+            isinstance(sha, str) and len(sha) == 64
+            and all(ch in "0123456789abcdef" for ch in sha),
+            f"store manifest: key {sha!r} is not a sha256 source digest",
+        )
+        _require(isinstance(entry, dict), f"{sha[:12]}: entry not an object")
+        _require(
+            isinstance(entry.get("file"), str)
+            and "/" not in entry["file"] and entry["file"],
+            f"{sha[:12]}: bad file name",
+        )
+        checksum = entry.get("sha256")
+        _require(
+            isinstance(checksum, str) and len(checksum) == 64
+            and all(ch in "0123456789abcdef" for ch in checksum),
+            f"{sha[:12]}: bad entry checksum",
+        )
+        _require(isinstance(entry.get("size"), int) and entry["size"] > 0,
+                 f"{sha[:12]}: bad size")
+        entry_gen = entry.get("generation")
+        _require(
+            isinstance(entry_gen, int) and 0 <= entry_gen <= generation,
+            f"{sha[:12]}: entry generation outside the manifest's",
+        )
+        _require(isinstance(entry.get("superseded"), bool),
+                 f"{sha[:12]}: superseded must be a bool")
+    return len(entries)
+
+
 def validate_prometheus(text: str) -> int:
     """Prometheus text exposition: HELP/TYPE headers + sample lines."""
     families = 0
@@ -320,6 +422,13 @@ def detect_and_validate(path: str) -> str:
     if "phases" in doc:
         count = validate_profile(doc)
         return f"{path}: profile v{PROFILE_SCHEMA_VERSION}, {count} phases"
+    if doc.get("bench") == "warmstart":
+        count = validate_bench_warmstart(doc)
+        return (f"{path}: BENCH_warmstart v{WARMSTART_SCHEMA_VERSION}, "
+                f"{count} programs, speedup {doc['speedup']:.2f}x")
+    if "fingerprint" in doc and "entries" in doc:
+        count = validate_store_manifest(doc)
+        return f"{path}: trace-store manifest v{STORE_SCHEMA}, {count} entries"
     if "programs" in doc or "geomean_ratio" in doc:
         count = validate_bench_wallclock(doc)
         return f"{path}: BENCH_wallclock v{BENCH_SCHEMA_VERSION}, {count} programs"

@@ -103,6 +103,12 @@ class VMConfig:
     #: ``"step"`` interprets the sequence.  Simulated cycles, events,
     #: and stats are byte-identical either way.
     native_backend: str = "py"
+    #: Directory of the persistent trace store (``--trace-store DIR``);
+    #: None disables warm start.  See :mod:`repro.core.store`.
+    trace_store: Optional[str] = None
+    #: Store size budget in entry bytes (0 = unlimited); on overflow the
+    #: oldest-generation entries are evicted at save time.
+    trace_store_budget: int = 0
     fault_plan: Optional["FaultPlan"] = None
     chaos_seed: Optional[int] = None
     dispatch_cost: int = costs.DISPATCH
@@ -166,6 +172,18 @@ class VM(PreemptionMixin):
             self.monitor = TraceMonitor(self)
         else:
             self.monitor = None
+        #: Optional :class:`repro.core.store.TraceStore` (persistent
+        #: cross-process trace cache); None unless configured.
+        self.trace_store = None
+        if self.config.trace_store and self.monitor is not None:
+            from repro.core.store import TraceStore
+
+            self.trace_store = TraceStore(
+                self.config.trace_store,
+                self.config,
+                budget=self.config.trace_store_budget,
+            )
+            self.monitor.cache.store = self.trace_store
         if self.config.profile:
             self.enable_profiling(timeline=self.config.profile_timeline)
         if self.config.metrics:
@@ -239,8 +257,21 @@ class VM(PreemptionMixin):
         return compile_program(source, name)
 
     def run(self, source: str, name: str = "<program>") -> Box:
-        """Compile and run a program; returns its completion value."""
-        return self.run_code(self.compile(source, name))
+        """Compile and run a program; returns its completion value.
+
+        With a trace store configured, persisted traces for this source
+        are preloaded before the run (warm start) and the post-run trace
+        state is persisted after a normal completion.  Both paths are
+        contained: store trouble degrades to cold tracing.
+        """
+        code = self.compile(source, name)
+        store = self.trace_store
+        if store is not None:
+            store.preload(self, source, code)
+        result = self.run_code(code)
+        if store is not None:
+            store.persist(self, source, code)
+        return result
 
     def run_code(self, code: Code) -> Box:
         return self.interpreter.run_toplevel(code)
