@@ -61,6 +61,11 @@ def measure_wallclock(source: str, backend: str, runs: int = 3,
         )
         cycles = vm.stats.total_cycles
         compile_wall = vm.profiler.pycompile_wall
+        transitions = {
+            "direct_transfers": vm.profiler.transfers_direct,
+            "monitor_stitched": vm.profiler.transfers_stitched,
+            "exit_surfacings": vm.profiler.total_side_exits,
+        }
     return {
         "backend": backend,
         "runs": samples,
@@ -72,6 +77,7 @@ def measure_wallclock(source: str, backend: str, runs: int = 3,
         ),
         "compile_wall_seconds": compile_wall,
         "simulated_cycles": cycles,
+        "transitions": transitions,
         "result": repr(result),
     }
 

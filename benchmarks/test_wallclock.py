@@ -9,7 +9,7 @@ interpreter time), best-of-N per backend to shrug off scheduler noise;
 programs that never stay on trace fall back to the total-wall ratio
 (see :func:`benchmarks.conftest.backend_ratio`).
 
-Two gates, both on backend-to-backend *ratios*, never absolute times
+Three gates, all on backend-to-backend *ratios*, never absolute times
 (CI machines vary wildly in speed, but the dispatch overhead the py
 backend removes scales with the machine, so ratios are stable):
 
@@ -18,10 +18,17 @@ backend removes scales with the machine, so ratios are stable):
 * the **suite geomean gate** — the geomean ratio over the full suite
   (all 25 programs + the sieve = 26 entries) must not regress below
   the floor this benchmark records (the wall-clock frontier ratchet
-  from the ROADMAP).
+  from the ROADMAP);
+* the **per-program floor gate** — no single program may regress below
+  0.9x, so a suite-wide win cannot paper over one program getting
+  slower.  Untraceable programs ride the total-wall ratio, which is
+  noisier, so any program measured under the floor is re-measured once
+  at a higher run count before the gate fails — and the failure names
+  every offending program.
 
-Writes ``BENCH_wallclock.json`` (schema v2: per-program entries +
-geomean; uploaded as a CI artifact by the ``wallclock`` job).
+Writes ``BENCH_wallclock.json`` (schema v3: per-program entries with
+trace-transition counts + geomean + both floors; uploaded as a CI
+artifact by the ``wallclock`` job).
 """
 
 from __future__ import annotations
@@ -57,12 +64,19 @@ primes;
 
 SIEVE_RUNS = 3
 SUITE_RUNS = 2
+#: Run count for the one-shot re-measure of programs that land under
+#: the per-program floor on the first pass (total-wall ratios on short
+#: untraceable programs are the noisy ones; more runs tightens best-of).
+RETRY_RUNS = 6
 MIN_SPEEDUP = 2.0
-#: The suite-geomean ratchet.  Set from the value this benchmark
-#: recorded when the gate was introduced, backed off ~25% to absorb
-#: run-to-run and machine-to-machine noise; raise it as the frontier
-#: moves (the ROADMAP targets >= 2.0).
-GEOMEAN_FLOOR = 1.25
+#: The suite-geomean ratchet.  Direct fragment linking pushed the
+#: measured geomean past 3x; the floor is backed off ~45% from there to
+#: absorb run-to-run and machine-to-machine noise.  Raise it as the
+#: frontier moves (the ROADMAP targets >= 2.0 measured).
+GEOMEAN_FLOOR = 1.7
+#: No individual program may fall below this ratio: suite-wide wins
+#: must not hide a single-program regression.
+PER_PROGRAM_FLOOR = 0.9
 
 
 @pytest.fixture(scope="module")
@@ -120,13 +134,30 @@ def _program_entry(name, category, traceable, step, py) -> dict:
             "compile_wall_seconds": py["compile_wall_seconds"],
             "simulated_cycles": py["simulated_cycles"],
         },
+        # How the py backend moved between traces: megafunction direct
+        # transfers vs monitor-stitched transfers vs exits that surfaced
+        # to the interpreter.  The CI wallclock job uploads these so the
+        # direct-link win is auditable, not just a timing delta.
+        "transitions": py["transitions"],
     }
 
 
-def test_wallclock_full_suite(sieve_measurements):
-    """The full-suite frontier: per-program ratios + the geomean gate.
+def _measure_entry(program, runs: int) -> dict:
+    step = measure_wallclock(
+        program.source, "step", runs=runs, name=program.name
+    )
+    py = measure_wallclock(
+        program.source, "py", runs=runs, name=program.name
+    )
+    return _program_entry(
+        program.name, program.category, program.expected_traceable, step, py,
+    )
 
-    Writes the combined BENCH_wallclock.json (schema v2), embedding the
+
+def test_wallclock_full_suite(sieve_measurements):
+    """The full-suite frontier: per-program ratios + both floor gates.
+
+    Writes the combined BENCH_wallclock.json (schema v3), embedding the
     sieve measurements from the shared fixture so the document covers
     everything the wallclock CI job gates on.
     """
@@ -138,29 +169,36 @@ def test_wallclock_full_suite(sieve_measurements):
             sieve_measurements["step"], sieve_measurements["py"],
         )
     ]
+    by_name = {program.name: program for program in PROGRAMS}
     for program in PROGRAMS:
-        step = measure_wallclock(
-            program.source, "step", runs=SUITE_RUNS, name=program.name
-        )
-        py = measure_wallclock(
-            program.source, "py", runs=SUITE_RUNS, name=program.name
-        )
-        entries.append(
-            _program_entry(
-                program.name, program.category, program.expected_traceable,
-                step, py,
-            )
-        )
+        entries.append(_measure_entry(program, SUITE_RUNS))
+
+    # Per-program floor, with one adaptive retry: total-wall ratios on
+    # short untraceable programs wobble with scheduler noise, so a
+    # first-pass miss gets a single best-of-RETRY_RUNS re-measure before
+    # it counts as a regression.
+    for index, entry in enumerate(entries):
+        if entry["ratio"] >= PER_PROGRAM_FLOOR or entry["name"] == "sieve":
+            continue
+        retried = _measure_entry(by_name[entry["name"]], RETRY_RUNS)
+        retried["remeasured_runs"] = RETRY_RUNS
+        entries[index] = retried
 
     suite_geomean = geomean(entry["ratio"] for entry in entries)
     sieve_ratio = entries[0]["ratio"]
+    transition_totals = {
+        key: sum(entry["transitions"][key] for entry in entries)
+        for key in ("direct_transfers", "monitor_stitched", "exit_surfacings")
+    }
 
     document = {
-        "schema": 2,
+        "schema": 3,
         "generated_by": "benchmarks/test_wallclock.py",
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "runs_per_backend": {"sieve": SIEVE_RUNS, "suite": SUITE_RUNS},
+        "runs_per_backend": {
+            "sieve": SIEVE_RUNS, "suite": SUITE_RUNS, "retry": RETRY_RUNS,
+        },
         "sieve": {
             "program": "sieve (scaled, 12 rounds x 3000)",
             "backends": sieve_measurements,
@@ -168,8 +206,10 @@ def test_wallclock_full_suite(sieve_measurements):
             "min_required_speedup": MIN_SPEEDUP,
         },
         "programs": entries,
+        "transition_totals": transition_totals,
         "geomean_ratio": suite_geomean,
         "geomean_floor": GEOMEAN_FLOOR,
+        "per_program_floor": PER_PROGRAM_FLOOR,
     }
     RESULT_PATH.write_text(json.dumps(document, indent=2) + "\n")
 
@@ -186,6 +226,19 @@ def test_wallclock_full_suite(sieve_measurements):
     )
 
     assert len(entries) == 26, "the frontier covers the suite + the sieve"
+    # The direct-link machinery must actually be exercising itself on
+    # this suite, or the transition columns (and the frontier) are
+    # measuring the wrong configuration.
+    assert transition_totals["direct_transfers"] > 0
+    below_floor = [
+        f"{entry['name']} ({entry['ratio']:.3f}x, {entry['ratio_basis']})"
+        for entry in entries
+        if entry["ratio"] < PER_PROGRAM_FLOOR
+    ]
+    assert not below_floor, (
+        f"programs below the {PER_PROGRAM_FLOOR}x per-program floor even "
+        f"after re-measuring at {RETRY_RUNS} runs: {', '.join(below_floor)}"
+    )
     assert suite_geomean >= GEOMEAN_FLOOR, (
         f"suite geomean ratio regressed to {suite_geomean:.3f} "
         f"(floor {GEOMEAN_FLOOR}); see {RESULT_PATH}"

@@ -344,6 +344,9 @@ class TraceMonitor:
             linked = self.cache.register_branch(tree, fragment)
             if linked and self.config.enable_stitching:
                 recorder.anchor_exit.target = fragment
+                # The link graph changed: any direct-link megafunction
+                # built for this tree is stale and rebuilds lazily.
+                tree.link_version += 1
         else:
             fragment.bytecount = recorder.bytecodes_recorded
             tree.compile_fragment(fragment, lir, self.config)
@@ -671,6 +674,10 @@ class TraceMonitor:
             pc=exit.pc,
             depth=exit.depth,
         )
+        if vm.metrics is not None:
+            # An exit tuple surfaced all the way to the monitor (the
+            # transition the direct-link fast path exists to avoid).
+            vm.metrics.exit_surfacings.inc(1, kind=exit.kind)
         if vm.profiler is not None:
             vm.profiler.record_side_exit(exit)
         exit.hit_count += 1

@@ -105,6 +105,10 @@ class Recorder:
         else:
             self.fragment = tree.fragment
         self.pipe = ForwardPipeline(vm.config, faults=vm.faults)
+        # Hoisted record_op hot-path lookups (one record_op call per
+        # recorded bytecode walks these otherwise).
+        self._faults = vm.faults
+        self._max_trace_length = vm.config.max_trace_length
         self.frames_abs: List[AbsFrame] = []
         self.globals_abs: Dict[str, LIns] = {}
         self.bytecodes_recorded = 0
@@ -380,150 +384,222 @@ class Recorder:
 
     def record_op(self, interp, frame, pc: int, opcode: int, arg) -> bool:
         """Record one bytecode.  Returns True if the interpreter must
-        call :meth:`record_result` after executing it."""
+        call :meth:`record_result` after executing it.
+
+        Dispatch is a per-opcode method table (:data:`_RECORD`), not an
+        opcode chain — one list index per recorded bytecode.  The
+        handlers run the exact same emission calls in the same order,
+        so the recorded LIR is unchanged.
+        """
         if self.finished or self.suspended:
             return False
-        faults = self.vm.faults
+        faults = self._faults
         if faults is not None:
             faults.fire(fault_sites.RECORD_OP)
-        if len(self.pipe.lir) > self.config.max_trace_length:
+        if len(self.pipe.lir) > self._max_trace_length:
             raise TraceAbort("trace-too-long")
         self.bytecodes_recorded += 1
 
         # Leaving the anchor loop (in the anchor frame) ends the trace
         # with a normal loop exit — including reaching an outer loop's
         # header (Section 3.2: do not extend along paths that leave).
-        if self.depth == 0 and not self.tree.loop_info.contains_pc(pc):
+        if len(self.frames_abs) == 1 and not self.tree.loop_info.contains_pc(pc):
             self.bytecodes_recorded -= 1
             self.end_with_loop_exit(pc)
             return False
 
-        stack = self.top.stack
-
-        if opcode == op.NOP or opcode == op.LOOPHEADER:
-            return False
-
-        if opcode == op.CONST:
-            self.push(self.const_for_box(frame.code.consts[arg]))
-        elif opcode == op.ZERO:
-            self.push(self.const_i(0))
-        elif opcode == op.ONE:
-            self.push(self.const_i(1))
-        elif opcode == op.UNDEF:
-            self.push(self.emit("const", imm=None, type="u"))
-        elif opcode == op.NULL:
-            self.push(self.emit("const", imm=None, type="n"))
-        elif opcode == op.TRUE:
-            self.push(self.emit("const", imm=True, type="b"))
-        elif opcode == op.FALSE:
-            self.push(self.emit("const", imm=False, type="b"))
-        elif opcode == op.THIS:
-            self.push(self.top.this_ins)
-
-        elif opcode == op.GETLOCAL:
-            self.push(self.top.locals[arg])
-        elif opcode == op.SETLOCAL:
-            self.set_local(arg, stack[-1])
-        elif opcode == op.GETGLOBAL:
-            self.record_getglobal(frame.code.names[arg])
-        elif opcode == op.SETGLOBAL:
-            self.set_global(frame.code.names[arg], stack[-1])
-
-        elif opcode == op.POP:
-            self.pop()
-        elif opcode == op.POPV:
-            # Top-level completion values are not tracked on trace (the
-            # benchmark programs read their result after all loops).
-            self.pop()
-        elif opcode == op.DUP:
-            self.push(stack[-1])
-        elif opcode == op.SWAP:
-            frame_abs = self.top
-            frame_abs.stack[-1], frame_abs.stack[-2] = (
-                frame_abs.stack[-2],
-                frame_abs.stack[-1],
-            )
-            top_index = len(frame_abs.stack) - 1
-            self.emit(
-                "star",
-                (frame_abs.stack[-1],),
-                slot=self._stack_slot(frame_abs, top_index),
-            )
-            self.emit(
-                "star",
-                (frame_abs.stack[-2],),
-                slot=self._stack_slot(frame_abs, top_index - 1),
-            )
-
-        elif opcode in (op.ADD, op.SUB, op.MUL):
-            self.record_arith(frame, pc, opcode)
-        elif opcode == op.DIV:
-            self.record_div(frame, pc)
-        elif opcode == op.MOD:
-            self.record_mod(frame, pc)
-        elif opcode == op.NEG:
-            self.record_neg(frame, pc)
-        elif opcode == op.TONUM:
-            operand = frame.stack[-1]
-            if operand.tag not in (TAG_INT, TAG_DOUBLE):
-                raise TraceAbort("tonum-on-non-number")
-        elif opcode in _BITOPS or opcode in (op.USHR, op.BITNOT):
-            self.record_bitop(frame, pc, opcode)
-
-        elif opcode in _RELOPS_I:
-            self.record_relop(frame, pc, opcode)
-        elif opcode in (op.EQ, op.NE, op.STRICTEQ, op.STRICTNE):
-            self.record_equality(frame, pc, opcode)
-        elif opcode == op.NOT:
-            value = self.pop()
-            self.push(self.emit("notb", (self.to_bool(value),), type="b"))
-        elif opcode == op.TYPEOF:
-            self.record_typeof(frame)
-
-        elif opcode == op.JUMP:
-            pass  # straight-line on trace; the loop edge closes at the header
-        elif opcode in (op.IFFALSE, op.IFTRUE):
-            self.record_branch(frame, pc, opcode, arg)
-        elif opcode in (op.ANDJMP, op.ORJMP):
-            self.record_shortcircuit(frame, pc, opcode, arg)
-
-        elif opcode == op.GETPROP:
-            return self.record_getprop(frame, pc, frame.code.names[arg])
-        elif opcode == op.SETPROP:
-            self.record_setprop(frame, pc, frame.code.names[arg])
-        elif opcode == op.GETELEM:
-            return self.record_getelem(frame, pc)
-        elif opcode == op.SETELEM:
-            self.record_setelem(frame, pc)
-        elif opcode == op.INITPROP:
-            self.record_initprop(frame, pc, frame.code.names[arg])
-        elif opcode == op.DELPROP:
-            raise TraceAbort("delete-on-trace")
-        elif opcode == op.ITERKEYS:
-            # Property enumeration order is not shape-guardable; like
-            # 2009 TraceMonkey, for..in setup stays in the interpreter.
-            raise TraceAbort("iterkeys-on-trace")
-
-        elif opcode == op.NEWOBJ:
-            result = self.emit("call", (), imm=helpers.NEW_OBJECT, type="o")
-            self.push(result)
-        elif opcode == op.NEWARR:
-            self.record_newarr(frame, pc, arg)
-
-        elif opcode in (op.CALL, op.CALLMETHOD, op.NEW):
-            return self.record_call(frame, pc, opcode, arg)
-        elif opcode in (op.RETURN, op.RETUNDEF):
-            self.record_return(opcode)
-
-        elif opcode == op.THROW:
-            raise TraceAbort("throw-on-trace")
-        elif opcode in (op.TRYPUSH, op.TRYPOP):
-            raise TraceAbort("try-block-on-trace")
-        elif opcode == op.END:
-            raise TraceAbort("end-of-program-on-trace")
-        else:
+        handler = _RECORD[opcode]
+        if handler is None:
             raise TraceAbort(f"unrecordable-opcode-{op.opcode_name(opcode)}")
+        return handler(self, frame, pc, opcode, arg)
+
+    # -- per-opcode record handlers (uniform signature, see _RECORD) --------
+
+    def _rec_nop(self, frame, pc, opcode, arg) -> bool:
         return False
+
+    def _rec_const(self, frame, pc, opcode, arg) -> bool:
+        self.push(self.const_for_box(frame.code.consts[arg]))
+        return False
+
+    def _rec_zero(self, frame, pc, opcode, arg) -> bool:
+        self.push(self.const_i(0))
+        return False
+
+    def _rec_one(self, frame, pc, opcode, arg) -> bool:
+        self.push(self.const_i(1))
+        return False
+
+    def _rec_undef(self, frame, pc, opcode, arg) -> bool:
+        self.push(self.emit("const", imm=None, type="u"))
+        return False
+
+    def _rec_null(self, frame, pc, opcode, arg) -> bool:
+        self.push(self.emit("const", imm=None, type="n"))
+        return False
+
+    def _rec_true(self, frame, pc, opcode, arg) -> bool:
+        self.push(self.emit("const", imm=True, type="b"))
+        return False
+
+    def _rec_false(self, frame, pc, opcode, arg) -> bool:
+        self.push(self.emit("const", imm=False, type="b"))
+        return False
+
+    def _rec_this(self, frame, pc, opcode, arg) -> bool:
+        self.push(self.top.this_ins)
+        return False
+
+    def _rec_getlocal(self, frame, pc, opcode, arg) -> bool:
+        self.push(self.top.locals[arg])
+        return False
+
+    def _rec_setlocal(self, frame, pc, opcode, arg) -> bool:
+        self.set_local(arg, self.top.stack[-1])
+        return False
+
+    def _rec_getglobal(self, frame, pc, opcode, arg) -> bool:
+        self.record_getglobal(frame.code.names[arg])
+        return False
+
+    def _rec_setglobal(self, frame, pc, opcode, arg) -> bool:
+        self.set_global(frame.code.names[arg], self.top.stack[-1])
+        return False
+
+    def _rec_pop(self, frame, pc, opcode, arg) -> bool:
+        # POPV too: top-level completion values are not tracked on
+        # trace (the benchmark programs read their result after all
+        # loops).
+        self.pop()
+        return False
+
+    def _rec_dup(self, frame, pc, opcode, arg) -> bool:
+        self.push(self.top.stack[-1])
+        return False
+
+    def _rec_swap(self, frame, pc, opcode, arg) -> bool:
+        frame_abs = self.top
+        frame_abs.stack[-1], frame_abs.stack[-2] = (
+            frame_abs.stack[-2],
+            frame_abs.stack[-1],
+        )
+        top_index = len(frame_abs.stack) - 1
+        self.emit(
+            "star",
+            (frame_abs.stack[-1],),
+            slot=self._stack_slot(frame_abs, top_index),
+        )
+        self.emit(
+            "star",
+            (frame_abs.stack[-2],),
+            slot=self._stack_slot(frame_abs, top_index - 1),
+        )
+        return False
+
+    def _rec_arith(self, frame, pc, opcode, arg) -> bool:
+        self.record_arith(frame, pc, opcode)
+        return False
+
+    def _rec_div(self, frame, pc, opcode, arg) -> bool:
+        self.record_div(frame, pc)
+        return False
+
+    def _rec_mod(self, frame, pc, opcode, arg) -> bool:
+        self.record_mod(frame, pc)
+        return False
+
+    def _rec_neg(self, frame, pc, opcode, arg) -> bool:
+        self.record_neg(frame, pc)
+        return False
+
+    def _rec_tonum(self, frame, pc, opcode, arg) -> bool:
+        operand = frame.stack[-1]
+        if operand.tag not in (TAG_INT, TAG_DOUBLE):
+            raise TraceAbort("tonum-on-non-number")
+        return False
+
+    def _rec_bitop(self, frame, pc, opcode, arg) -> bool:
+        self.record_bitop(frame, pc, opcode)
+        return False
+
+    def _rec_relop(self, frame, pc, opcode, arg) -> bool:
+        self.record_relop(frame, pc, opcode)
+        return False
+
+    def _rec_equality(self, frame, pc, opcode, arg) -> bool:
+        self.record_equality(frame, pc, opcode)
+        return False
+
+    def _rec_not(self, frame, pc, opcode, arg) -> bool:
+        value = self.pop()
+        self.push(self.emit("notb", (self.to_bool(value),), type="b"))
+        return False
+
+    def _rec_typeof(self, frame, pc, opcode, arg) -> bool:
+        self.record_typeof(frame)
+        return False
+
+    def _rec_jump(self, frame, pc, opcode, arg) -> bool:
+        # Straight-line on trace; the loop edge closes at the header.
+        return False
+
+    def _rec_branch(self, frame, pc, opcode, arg) -> bool:
+        self.record_branch(frame, pc, opcode, arg)
+        return False
+
+    def _rec_shortcircuit(self, frame, pc, opcode, arg) -> bool:
+        self.record_shortcircuit(frame, pc, opcode, arg)
+        return False
+
+    def _rec_getprop(self, frame, pc, opcode, arg) -> bool:
+        return self.record_getprop(frame, pc, frame.code.names[arg])
+
+    def _rec_setprop(self, frame, pc, opcode, arg) -> bool:
+        self.record_setprop(frame, pc, frame.code.names[arg])
+        return False
+
+    def _rec_getelem(self, frame, pc, opcode, arg) -> bool:
+        return self.record_getelem(frame, pc)
+
+    def _rec_setelem(self, frame, pc, opcode, arg) -> bool:
+        self.record_setelem(frame, pc)
+        return False
+
+    def _rec_initprop(self, frame, pc, opcode, arg) -> bool:
+        self.record_initprop(frame, pc, frame.code.names[arg])
+        return False
+
+    def _rec_delprop(self, frame, pc, opcode, arg) -> bool:
+        raise TraceAbort("delete-on-trace")
+
+    def _rec_iterkeys(self, frame, pc, opcode, arg) -> bool:
+        # Property enumeration order is not shape-guardable; like 2009
+        # TraceMonkey, for..in setup stays in the interpreter.
+        raise TraceAbort("iterkeys-on-trace")
+
+    def _rec_newobj(self, frame, pc, opcode, arg) -> bool:
+        self.push(self.emit("call", (), imm=helpers.NEW_OBJECT, type="o"))
+        return False
+
+    def _rec_newarr(self, frame, pc, opcode, arg) -> bool:
+        self.record_newarr(frame, pc, arg)
+        return False
+
+    def _rec_call(self, frame, pc, opcode, arg) -> bool:
+        return self.record_call(frame, pc, opcode, arg)
+
+    def _rec_return(self, frame, pc, opcode, arg) -> bool:
+        self.record_return(opcode)
+        return False
+
+    def _rec_throw(self, frame, pc, opcode, arg) -> bool:
+        raise TraceAbort("throw-on-trace")
+
+    def _rec_tryblock(self, frame, pc, opcode, arg) -> bool:
+        raise TraceAbort("try-block-on-trace")
+
+    def _rec_end(self, frame, pc, opcode, arg) -> bool:
+        raise TraceAbort("end-of-program-on-trace")
 
     # ------------------------------------------------------------------
     # Globals
@@ -1438,6 +1514,69 @@ class Recorder:
             self.emit("star", (value,), slot=self.tree.slot_for(loc))
         else:
             raise VMInternalError(f"cannot write back {loc!r}")
+
+
+def _build_record_table():
+    """The opcode -> record-handler table (None = unrecordable)."""
+    table = [None] * op.N_OPCODES
+    table[op.NOP] = Recorder._rec_nop
+    table[op.LOOPHEADER] = Recorder._rec_nop
+    table[op.CONST] = Recorder._rec_const
+    table[op.ZERO] = Recorder._rec_zero
+    table[op.ONE] = Recorder._rec_one
+    table[op.UNDEF] = Recorder._rec_undef
+    table[op.NULL] = Recorder._rec_null
+    table[op.TRUE] = Recorder._rec_true
+    table[op.FALSE] = Recorder._rec_false
+    table[op.THIS] = Recorder._rec_this
+    table[op.GETLOCAL] = Recorder._rec_getlocal
+    table[op.SETLOCAL] = Recorder._rec_setlocal
+    table[op.GETGLOBAL] = Recorder._rec_getglobal
+    table[op.SETGLOBAL] = Recorder._rec_setglobal
+    table[op.POP] = Recorder._rec_pop
+    table[op.POPV] = Recorder._rec_pop
+    table[op.DUP] = Recorder._rec_dup
+    table[op.SWAP] = Recorder._rec_swap
+    for opcode in (op.ADD, op.SUB, op.MUL):
+        table[opcode] = Recorder._rec_arith
+    table[op.DIV] = Recorder._rec_div
+    table[op.MOD] = Recorder._rec_mod
+    table[op.NEG] = Recorder._rec_neg
+    table[op.TONUM] = Recorder._rec_tonum
+    for opcode in (op.BITAND, op.BITOR, op.BITXOR, op.SHL, op.SHR, op.USHR, op.BITNOT):
+        table[opcode] = Recorder._rec_bitop
+    for opcode in (op.LT, op.LE, op.GT, op.GE):
+        table[opcode] = Recorder._rec_relop
+    for opcode in (op.EQ, op.NE, op.STRICTEQ, op.STRICTNE):
+        table[opcode] = Recorder._rec_equality
+    table[op.NOT] = Recorder._rec_not
+    table[op.TYPEOF] = Recorder._rec_typeof
+    table[op.JUMP] = Recorder._rec_jump
+    for opcode in (op.IFFALSE, op.IFTRUE):
+        table[opcode] = Recorder._rec_branch
+    for opcode in (op.ANDJMP, op.ORJMP):
+        table[opcode] = Recorder._rec_shortcircuit
+    table[op.GETPROP] = Recorder._rec_getprop
+    table[op.SETPROP] = Recorder._rec_setprop
+    table[op.GETELEM] = Recorder._rec_getelem
+    table[op.SETELEM] = Recorder._rec_setelem
+    table[op.INITPROP] = Recorder._rec_initprop
+    table[op.DELPROP] = Recorder._rec_delprop
+    table[op.ITERKEYS] = Recorder._rec_iterkeys
+    table[op.NEWOBJ] = Recorder._rec_newobj
+    table[op.NEWARR] = Recorder._rec_newarr
+    for opcode in (op.CALL, op.CALLMETHOD, op.NEW):
+        table[opcode] = Recorder._rec_call
+    for opcode in (op.RETURN, op.RETUNDEF):
+        table[opcode] = Recorder._rec_return
+    table[op.THROW] = Recorder._rec_throw
+    for opcode in (op.TRYPUSH, op.TRYPOP):
+        table[opcode] = Recorder._rec_tryblock
+    table[op.END] = Recorder._rec_end
+    return table
+
+
+_RECORD = _build_record_table()
 
 
 _SIGNATURE_CHAR = {

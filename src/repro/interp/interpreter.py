@@ -4,6 +4,16 @@ One big dispatch loop, SpiderMonkey-style.  Every opcode charges
 simulated cycles (see :mod:`repro.costs`) for dispatch, tag tests,
 un/boxing, and the semantic work — these charges are exactly what the
 tracing JIT later eliminates, so the cost model *is* the experiment.
+
+Two dispatch strategies share the loop's contract (identical simulated
+cycles, stats, and events per bytecode):
+
+* the **classic** ``if/elif`` chain (:meth:`Interpreter._run_frame_classic`),
+  always used while a recorder is attached;
+* **table-threaded** dispatch (:mod:`repro.interp.dispatch`, the
+  default while *not* recording): a per-code handler table with fused
+  superinstructions for hot opcode pairs, disabled by
+  ``config.enable_threaded_dispatch = False``.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from repro.bytecode.compiler import Code
 from repro.costs import Activity
 from repro.errors import GuestFault, JSThrow, TraceAbort, VMInternalError
 from repro.exec.limits import string_cells
+from repro.interp import dispatch
 from repro.interp.frames import Frame
 from repro.runtime import conversions, operations
 from repro.runtime.builtins import STRING_METHODS
@@ -59,6 +70,9 @@ class Interpreter:
         self.vm = vm
         self.dispatch_cost = dispatch_cost
         self.frames: List[Frame] = []
+        # RETURN/RETUNDEF value handoff from threaded handlers (the
+        # driving loop owns the frames/base-depth bookkeeping).
+        self._ret: Optional[Box] = None
 
     # -- cost / profile helpers ---------------------------------------------
 
@@ -156,7 +170,71 @@ class Interpreter:
 
         Returns ``_SWITCH_FRAME`` when the top frame changed (call /
         return / unwinding), or the final completion/return Box.
+
+        Dispatch strategy: the table-threaded loop while not recording
+        (and the knob is on), the classic ``if/elif`` chain otherwise.
+        Both charge identical simulated cycles per bytecode, so which
+        one runs is invisible to results, stats, and events.
         """
+        vm = self.vm
+        if vm.recorder is None and vm.config.enable_threaded_dispatch:
+            return self._run_frame_threaded(frame, frames, base_depth)
+        return self._run_frame_classic(frame, frames, base_depth)
+
+    def _run_frame_threaded(self, frame: Frame, frames: List[Frame], base_depth: int):
+        """Table-threaded twin of :meth:`_run_frame_classic`: one
+        pre-resolved handler per pc (see :mod:`repro.interp.dispatch`)
+        instead of the opcode chain.  Never runs while recording — the
+        loop-header handler returns ``_SWITCH_FRAME`` the moment a
+        recorder starts, and this method re-routes to the classic loop
+        on re-entry."""
+        code = frame.code
+        table = code.threaded_table
+        if table is None:
+            table = dispatch.build_table(code)
+            code.threaded_table = table if table is not None else False
+        if table is False:
+            # Some opcode had no handler; this code stays classic.
+            return self._run_frame_classic(frame, frames, base_depth)
+        vm = self.vm
+        profile = vm.stats.profile
+        stack = frame.stack
+        charge = self._charge
+        dispatch_cost = self.dispatch_cost
+        FRAME_TEARDOWN = costs.FRAME_TEARDOWN
+
+        while True:
+            pc = frame.pc
+            frame.pc = pc + 1
+            profile.interpreted += 1
+            charge(dispatch_cost)
+            result = table[pc](self, frame, stack, charge, pc)
+            if result is None:
+                continue
+            if result is _SWITCH_FRAME:
+                return _SWITCH_FRAME
+            if result is _DO_RETURN:
+                value = self._ret
+                self._ret = None
+                frames.pop()
+                charge(FRAME_TEARDOWN)
+                if len(frames) == base_depth:
+                    return value
+                caller = frames[-1]
+                if caller.code.insns[caller.pc - 1][0] == op.NEW:
+                    # `new F()`: a non-object return is replaced by `this`.
+                    if value.tag != TAG_OBJECT:
+                        value = frame.this_box
+                caller.stack.append(value)
+                return _SWITCH_FRAME
+            # END: the handler popped the frame; result is the
+            # completion Box.
+            return result
+
+    def _run_frame_classic(self, frame: Frame, frames: List[Frame], base_depth: int):
+        """The classic ``if/elif`` dispatch chain (always used while a
+        recorder is attached; also the ``--no-threaded-dispatch``
+        baseline)."""
         vm = self.vm
         stats = vm.stats
         profile = stats.profile
@@ -749,5 +827,9 @@ class Interpreter:
 
 _RELOP_TEXT = {op.LT: "<", op.LE: "<=", op.GT: ">", op.GE: ">="}
 
-#: Sentinel: the current frame changed; refresh cached state.
-_SWITCH_FRAME = object()
+#: Sentinel: the current frame changed; refresh cached state (shared
+#: with the threaded handler table).
+_SWITCH_FRAME = dispatch.SWITCH_FRAME
+#: Sentinel: a threaded RETURN/RETUNDEF handler stashed its value in
+#: ``interp._ret``.
+_DO_RETURN = dispatch.DO_RETURN

@@ -855,11 +855,14 @@ class NativeMachine:
 
     def _stitch(self, exit: SideExit):
         """Transfer control to the branch trace patched onto ``exit``."""
-        stats = self.vm.stats
+        vm = self.vm
+        stats = vm.stats
         stats.tracing.stitched_transfers += 1
         stats.ledger.charge(Activity.NATIVE, costs.STITCH_PENALTY)
-        if self.vm.profiler is not None:
-            self.vm.profiler.record_stitch(exit)
+        if vm.profiler is not None:
+            vm.profiler.record_stitch(exit)
+        if vm.metrics is not None:
+            vm.metrics.fragment_transfers.inc(1, mode="stitched")
         fragment = exit.target
         return fragment, fragment.native, 0, 0
 

@@ -274,6 +274,20 @@ class MetricsRegistry:
             "Side exits that returned control to the monitor, by guard kind.",
             ("kind",),
         )
+        self.exit_surfacings = self.counter(
+            "repro_exit_surfacings_total",
+            "Exit tuples that surfaced all the way to the monitor (the "
+            "transition direct fragment linking exists to avoid), by "
+            "guard kind.",
+            ("kind",),
+        )
+        self.fragment_transfers = self.counter(
+            "repro_fragment_transfers_total",
+            "Fragment-to-fragment transfers that stayed native, by mode "
+            "(direct = inside a direct-linked megafunction; stitched = "
+            "mediated by the backend driver's stitch loop).",
+            ("mode",),
+        )
         self.unstable_links = self.counter(
             "repro_unstable_links_total",
             "Type-unstable exits chained directly into a complementary peer.",

@@ -77,8 +77,10 @@ ACTIVITY_OF_PHASE = {
 #: Version of the profile JSON document (see docs/INTERNALS.md).
 #: History: 1 = initial; 2 = adds the "firewall" section; 3 = adds the
 #: per-loop backend / wall-clock fields and the "pycompile" section;
-#: 4 = adds the "optimizer" section (whole-trace pass counters).
-PROFILE_SCHEMA_VERSION = 4
+#: 4 = adds the "optimizer" section (whole-trace pass counters);
+#: 5 = adds the "transitions" section (direct vs monitor-mediated
+#: fragment transfers, exit-tuple surfacings).
+PROFILE_SCHEMA_VERSION = 5
 
 
 class GuardProfile:
@@ -233,6 +235,11 @@ class PhaseProfiler:
         #: Python-backend fragment compilations (count / wall seconds).
         self.pycompile_count = 0
         self.pycompile_wall = 0.0
+        #: Fragment-to-fragment transfers that stayed native, split by
+        #: how: inside a direct-linked megafunction vs mediated by the
+        #: backend driver's stitch loop.
+        self.transfers_direct = 0
+        self.transfers_stitched = 0
         #: Cycle count at the safe-mode transition (None = never tripped).
         #: Everything after it accrues to interpret/monitor phases, so
         #: the Figure 12 fractions stay partition-exact across the flip.
@@ -390,8 +397,17 @@ class PhaseProfiler:
             return
         self.guard_profile(exit).exits += 1
 
-    def record_stitch(self, exit) -> None:
-        """One guard failure that transferred into a branch trace."""
+    def record_stitch(self, exit, direct: bool = False) -> None:
+        """One guard failure that transferred into a branch trace.
+
+        ``direct`` distinguishes transfers taken inside a direct-linked
+        megafunction from ones mediated by the driver's stitch loop;
+        the per-guard ``stitched`` total counts both.
+        """
+        if direct:
+            self.transfers_direct += 1
+        else:
+            self.transfers_stitched += 1
         if exit.tree is None:
             return
         self.guard_profile(exit).stitched += 1
@@ -513,6 +529,11 @@ class PhaseProfiler:
             "pycompile": {
                 "fragments": self.pycompile_count,
                 "wall_seconds": self.pycompile_wall,
+            },
+            "transitions": {
+                "direct_transfers": self.transfers_direct,
+                "monitor_stitched": self.transfers_stitched,
+                "exit_surfacings": self.total_side_exits,
             },
             "firewall": {
                 "trips": dict(self.firewall_trips),

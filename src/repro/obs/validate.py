@@ -16,8 +16,8 @@ and span/track references) — not a full JSON-Schema engine, which the
 container deliberately does not ship.
 
 Current versions: events v7 (:data:`repro.core.events
-.EVENT_SCHEMA_VERSION`), profile v4 (:data:`repro.obs.profiler
-.PROFILE_SCHEMA_VERSION`), metrics v1, spans v1, BENCH_wallclock v2,
+.EVENT_SCHEMA_VERSION`), profile v5 (:data:`repro.obs.profiler
+.PROFILE_SCHEMA_VERSION`), metrics v1, spans v1, BENCH_wallclock v3,
 BENCH_throughput v1, BENCH_warmstart v1, trace-store manifest v1
 (:data:`repro.core.store.STORE_SCHEMA`).
 """
@@ -34,7 +34,7 @@ from repro.obs.metrics import METRICS_SCHEMA_VERSION
 from repro.obs.profiler import PROFILE_SCHEMA_VERSION
 from repro.obs.spans import SPANS_SCHEMA_VERSION
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 THROUGHPUT_SCHEMA_VERSION = 1
 WARMSTART_SCHEMA_VERSION = 1
 
@@ -93,6 +93,12 @@ def validate_profile(doc: dict) -> int:
         sum(data["cycles"] for data in phases) == total,
         "profile phase cycles do not sum to total_cycles",
     )
+    transitions = doc.get("transitions")
+    _require(isinstance(transitions, dict), "profile missing transitions")
+    for key in ("direct_transfers", "monitor_stitched", "exit_surfacings"):
+        value = transitions.get(key)
+        _require(isinstance(value, int) and value >= 0,
+                 f"transitions: bad {key}")
     return len(phases)
 
 
@@ -185,7 +191,14 @@ def validate_bench_wallclock(doc: dict) -> int:
     )
     programs = doc.get("programs")
     _require(isinstance(programs, list) and len(programs) == 26,
-             "BENCH v2 must carry 26 per-program entries")
+             "BENCH v3 must carry 26 per-program entries")
+    per_program_floor = doc.get("per_program_floor")
+    _require(
+        isinstance(per_program_floor, (int, float)) and per_program_floor > 0,
+        "BENCH v3 missing per_program_floor",
+    )
+    totals = {"direct_transfers": 0, "monitor_stitched": 0,
+              "exit_surfacings": 0}
     for entry in programs:
         _require(isinstance(entry.get("name"), str), "program without name")
         _require(
@@ -197,9 +210,26 @@ def validate_bench_wallclock(doc: dict) -> int:
             f"{entry.get('name')}: unknown ratio_basis",
         )
         _require(
+            entry["ratio"] >= per_program_floor,
+            f"{entry.get('name')}: ratio {entry['ratio']:.3f} is below the "
+            f"recorded per-program floor {per_program_floor}",
+        )
+        _require(
             entry["step"]["simulated_cycles"] == entry["py"]["simulated_cycles"],
             f"{entry.get('name')}: backend cycle bills differ",
         )
+        transitions = entry.get("transitions")
+        _require(isinstance(transitions, dict),
+                 f"{entry.get('name')}: missing transitions")
+        for key in totals:
+            value = transitions.get(key)
+            _require(isinstance(value, int) and value >= 0,
+                     f"{entry.get('name')}: transitions missing {key}")
+            totals[key] += value
+    _require(
+        doc.get("transition_totals") == totals,
+        "transition_totals does not sum the per-program transitions",
+    )
     _require(
         isinstance(doc.get("geomean_ratio"), (int, float)),
         "BENCH missing geomean_ratio",

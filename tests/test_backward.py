@@ -2,7 +2,7 @@
 
 from repro.core.exits import BRANCH, SideExit
 from repro.core.lir import LIns
-from repro.jit.backward import run_backward_filters
+from repro.jit.optimizer import run_backward_filters
 
 
 def make_exit(live):
